@@ -1,0 +1,77 @@
+"""A12 — ablation: how much server RAM does the whole-file cache need?
+
+§1 motivates the design with big memories ("memory sizes of at least 16
+Megabytes are common today, enough to hold most files encountered in
+practice"); §3 gives *all* remaining RAM to the cache. This sweep
+replays one Zipf-popular trace (sizes per the cited distribution)
+against servers with different cache sizes and reports hit rate and
+mean read latency — showing where the paper's 14 MB lands on the curve.
+"""
+
+from dataclasses import replace
+
+from repro.bench import TraceGenerator, make_rig, timed
+from repro.profiles import DEFAULT_TESTBED
+from repro.sim import run_process
+from repro.units import KB, MB, to_msec
+
+from conftest import run_once, save_result
+
+CACHE_SIZES = [512 * KB, 2 * MB, 8 * MB, 14 * MB]
+
+
+def run_cache_size(cache_bytes, trace):
+    bullet_profile = replace(DEFAULT_TESTBED.bullet,
+                             ram_bytes=cache_bytes
+                             + DEFAULT_TESTBED.bullet.reserved_ram_bytes)
+    testbed = replace(DEFAULT_TESTBED, bullet=bullet_profile)
+    rig = make_rig(testbed=testbed, with_nfs=False, background_load=False)
+    env, server, client = rig.env, rig.bullet, rig.bullet_client
+    caps = {}
+    read_time = 0.0
+    reads = 0
+    for op in trace:
+        if op.kind == "create":
+            _t, caps[op.file_id] = timed(env, client.create(bytes(op.size), 1))
+        elif op.kind == "read":
+            elapsed, _ = timed(env, client.read(caps[op.file_id]))
+            read_time += elapsed
+            reads += 1
+        else:
+            timed(env, client.delete(caps.pop(op.file_id)))
+    return server.cache.stats.hit_rate, read_time / reads
+
+
+def test_ablation_cache_size(benchmark):
+    def experiment():
+        # A heavier size profile than the paper's median-1KB UNIX mix, so
+        # the sweep actually stresses the smaller caches (the 1 KB-median
+        # working set fits in half a megabyte).
+        from repro.bench import FileSizeDistribution
+
+        # maximum below the smallest swept cache: every file must fit in
+        # server memory (§2's whole-file constraint).
+        sizes = FileSizeDistribution(median=48 * KB, maximum=384 * KB)
+        trace = TraceGenerator(seed=23, sizes=sizes, read_fraction=0.75,
+                               delete_fraction=0.05).generate(
+            n_ops=300, prepopulate=60)
+        return {size: run_cache_size(size, trace) for size in CACHE_SIZES}
+
+    sweep = run_once(benchmark, experiment)
+    lines = ["A12: server cache size vs hit rate and mean read latency",
+             "=" * 60,
+             f"{'cache':>10} {'hit rate':>10} {'mean read (ms)':>16}"]
+    for size, (hit_rate, mean_read) in sweep.items():
+        label = f"{size // MB} MB" if size >= MB else f"{size // KB} KB"
+        lines.append(f"{label:>10} {hit_rate:>10.3f} "
+                     f"{to_msec(mean_read):>16.1f}")
+    save_result("ablation_cache_size", "\n".join(lines))
+
+    rates = [sweep[size][0] for size in CACHE_SIZES]
+    latencies = [sweep[size][1] for size in CACHE_SIZES]
+    # More cache never hurts, and the paper-scale cache serves this
+    # working set almost entirely from RAM.
+    assert all(a <= b + 0.01 for a, b in zip(rates, rates[1:]))
+    assert all(a >= b * 0.95 for a, b in zip(latencies, latencies[1:]))
+    assert rates[-1] > 0.95
+    assert rates[0] < rates[-1]

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment's setuptools predates
+PEP 660 editable installs, so ``pip install -e . --no-use-pep517`` goes
+through this file. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

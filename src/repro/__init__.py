@@ -1,0 +1,145 @@
+"""repro — a full reproduction of the Bullet file server.
+
+van Renesse, Tanenbaum, Wilschut, *The Design of a High-Performance File
+Server*, ICDCS 1989: an immutable, contiguous, whole-file-transfer file
+server (from the Amoeba project), rebuilt in Python together with every
+substrate it needs — a discrete-event simulator, virtual disks, a shared
+Ethernet with Amoeba-style RPC, sparse capabilities, a directory/version
+service, a SUN-NFS-style baseline, a log server, and a UNIX emulation —
+plus the benchmark harness that regenerates the paper's figures.
+
+Quick start (see examples/quickstart.py for the full version)::
+
+    from repro import (
+        BulletServer, BulletClient, Environment, Ethernet, MirroredDiskSet,
+        RpcTransport, DEFAULT_TESTBED, VirtualDisk, run_process,
+    )
+
+    env = Environment()
+    eth = Ethernet(env, DEFAULT_TESTBED.ethernet)
+    rpc = RpcTransport(env, eth, DEFAULT_TESTBED.cpu)
+    disks = [VirtualDisk(env, DEFAULT_TESTBED.disk, name=f"d{i}") for i in (0, 1)]
+    server = BulletServer(env, MirroredDiskSet(env, disks), DEFAULT_TESTBED,
+                          transport=rpc)
+    server.format()
+    run_process(env, server.boot())
+
+    client = BulletClient(env, rpc, server.port)
+    cap = run_process(env, client.create(b"an immutable file", 2))
+    assert run_process(env, client.read(cap)) == b"an immutable file"
+"""
+
+from .btree import ImmutableBTree
+from .capability import (
+    ALL_RIGHTS,
+    Capability,
+    NULL_CAPABILITY,
+    RIGHT_ADMIN,
+    RIGHT_CREATE,
+    RIGHT_DELETE,
+    RIGHT_MODIFY,
+    RIGHT_READ,
+    mint_owner,
+    port_for_name,
+    restrict,
+    verify,
+)
+from .client import (
+    BulletClient,
+    CachingBulletClient,
+    DirectoryClient,
+    LocalBulletStub,
+    ReplicaSetClient,
+    replicate_file,
+)
+from .core import (
+    BulletCache,
+    BulletServer,
+    ExtentFreeList,
+    Inode,
+    InodeTable,
+    ScanReport,
+    VolumeLayout,
+    compact_disk,
+    nightly_compaction,
+    render_layout,
+    scan_volume,
+)
+from .directory import DirectoryServer
+from .disk import FaultInjector, MirroredDiskSet, VirtualDisk
+from .errors import (
+    BadRequestError,
+    CapabilityError,
+    ConsistencyError,
+    DiskIOError,
+    ExistsError,
+    FileTooBigError,
+    NoSpaceError,
+    NotEmptyError,
+    NotFoundError,
+    ReproError,
+    RightsError,
+    RpcTimeoutError,
+    ServerDownError,
+    Status,
+)
+from .gc import GcReport, gc_daemon, gc_sweep
+from .logsvc import LogServer
+from .net import (
+    Ethernet,
+    Gateway,
+    RpcReply,
+    RpcRequest,
+    RpcTransport,
+    WideAreaLink,
+    WideAreaProfile,
+    connect_sites,
+)
+from .nfs import NfsClient, NfsServer
+from .profiles import (
+    DEFAULT_TESTBED,
+    BulletProfile,
+    CpuProfile,
+    DiskProfile,
+    EthernetProfile,
+    NfsProfile,
+    Testbed,
+)
+from .sim import Environment, SeededStream, Tracer, run_process
+from .unixemu import UnixEmulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # capability
+    "ALL_RIGHTS", "Capability", "NULL_CAPABILITY", "RIGHT_ADMIN",
+    "RIGHT_CREATE", "RIGHT_DELETE", "RIGHT_MODIFY", "RIGHT_READ",
+    "mint_owner", "port_for_name", "restrict", "verify",
+    # clients
+    "BulletClient", "CachingBulletClient", "DirectoryClient",
+    "LocalBulletStub", "ReplicaSetClient", "replicate_file",
+    # core
+    "BulletCache", "BulletServer", "ExtentFreeList", "Inode", "InodeTable",
+    "ScanReport", "VolumeLayout", "compact_disk", "nightly_compaction",
+    "render_layout", "scan_volume",
+    # servers
+    "DirectoryServer", "LogServer", "NfsClient", "NfsServer", "UnixEmulation",
+    # substrate
+    "FaultInjector", "MirroredDiskSet", "VirtualDisk",
+    "Ethernet", "RpcReply", "RpcRequest", "RpcTransport",
+    "Gateway", "WideAreaLink", "WideAreaProfile", "connect_sites",
+    "Environment", "SeededStream", "Tracer", "run_process",
+    # garbage collection
+    "GcReport", "gc_daemon", "gc_sweep",
+    # database pattern
+    "ImmutableBTree",
+    # profiles
+    "DEFAULT_TESTBED", "BulletProfile", "CpuProfile", "DiskProfile",
+    "EthernetProfile", "NfsProfile", "Testbed",
+    # errors
+    "BadRequestError", "CapabilityError", "ConsistencyError", "DiskIOError",
+    "ExistsError", "FileTooBigError", "NoSpaceError", "NotEmptyError",
+    "NotFoundError", "ReproError", "RightsError", "RpcTimeoutError",
+    "ServerDownError", "Status",
+    "__version__",
+]

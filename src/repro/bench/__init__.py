@@ -1,0 +1,30 @@
+"""Benchmark harness (S13/S14): workloads, the §4 testbed rig, paper-
+style tables, and the per-figure measurement functions."""
+
+from .harness import (
+    PAPER_SIZES,
+    Rig,
+    bullet_figure2,
+    make_rig,
+    nfs_figure3,
+    throughput_vs_clients,
+    timed,
+)
+from .tables import MeasurementTable, ascii_chart, comparison_lines
+from .workload import FileSizeDistribution, Op, TraceGenerator
+
+__all__ = [
+    "PAPER_SIZES",
+    "Rig",
+    "bullet_figure2",
+    "make_rig",
+    "nfs_figure3",
+    "throughput_vs_clients",
+    "timed",
+    "MeasurementTable",
+    "ascii_chart",
+    "comparison_lines",
+    "FileSizeDistribution",
+    "Op",
+    "TraceGenerator",
+]

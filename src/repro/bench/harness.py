@@ -1,0 +1,225 @@
+"""The measurement harness (S14): builds the paper's testbed and runs
+the §4 experiments.
+
+The rig reproduces the measurement setup of §4:
+
+* a Bullet server on a dedicated 16.7 MHz MC68020 with 16 MB RAM and two
+  800 MB disks, reached over a normally loaded 10 Mb/s Ethernet;
+* a SUN-NFS-style server (3 MB buffer cache, one disk, write-through),
+  measured from a diskless client with local caching disabled (lockf),
+  with background churn standing in for the shared departmental load.
+
+Delays are simulated milliseconds; bandwidths derive from them. Repeats
+are averaged; everything is seeded, so tables reproduce bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..client import BulletClient
+from ..core import BulletServer
+from ..disk import MirroredDiskSet, VirtualDisk
+from ..net import Ethernet, RpcTransport
+from ..nfs import NfsClient, NfsServer
+from ..profiles import DEFAULT_TESTBED, Testbed
+from ..sim import Environment, SeededStream, run_process
+from ..units import KB
+from .tables import MeasurementTable
+from .workload import PAPER_SIZES
+
+__all__ = [
+    "Rig",
+    "make_rig",
+    "timed",
+    "bullet_figure2",
+    "nfs_figure3",
+    "throughput_vs_clients",
+    "PAPER_SIZES",
+]
+
+
+@dataclass
+class Rig:
+    """One assembled testbed."""
+
+    env: Environment
+    testbed: Testbed
+    ethernet: Ethernet
+    rpc: RpcTransport
+    seed: int
+    bullet: Optional[BulletServer] = None
+    bullet_client: Optional[BulletClient] = None
+    nfs: Optional[NfsServer] = None
+    nfs_client: Optional[NfsClient] = None
+
+
+def make_rig(seed: int = 1989, testbed: Testbed = DEFAULT_TESTBED,
+             background_load: bool = True, with_bullet: bool = True,
+             with_nfs: bool = True, nfs_churn: bool = True,
+             bullet_disks: int = 2, cache_policy: str = "lru") -> Rig:
+    """Build the §4 testbed (or a subset of it)."""
+    env = Environment()
+    ethernet = Ethernet(
+        env, testbed.ethernet,
+        stream=SeededStream(seed, "ethernet") if background_load else None,
+        background_load=background_load,
+    )
+    rpc = RpcTransport(env, ethernet, testbed.cpu)
+    rig = Rig(env=env, testbed=testbed, ethernet=ethernet, rpc=rpc, seed=seed)
+    if with_bullet:
+        disks = [VirtualDisk(env, testbed.disk, name=f"bullet-d{i}")
+                 for i in range(bullet_disks)]
+        mirror = MirroredDiskSet(env, disks)
+        rig.bullet = BulletServer(env, mirror, testbed, transport=rpc,
+                                  master_seed=seed, cache_policy=cache_policy)
+        rig.bullet.format()
+        env.run(until=env.process(rig.bullet.boot()))
+        rig.bullet_client = BulletClient(env, rpc, rig.bullet.port)
+    if with_nfs:
+        nfs_disk = VirtualDisk(env, testbed.disk, name="nfs-disk")
+        rig.nfs = NfsServer(env, nfs_disk, testbed, transport=rpc,
+                            background_churn=nfs_churn, master_seed=seed)
+        rig.nfs.format()
+        env.run(until=env.process(rig.nfs.boot()))
+        rig.nfs_client = NfsClient(env, testbed, rpc=rpc,
+                                   server_port=rig.nfs.port)
+    return rig
+
+
+def timed(env: Environment, gen):
+    """Run one client process; returns (elapsed_seconds, result)."""
+    start = env.now
+    result = run_process(env, gen)
+    return env.now - start, result
+
+
+# ------------------------------------------------------------- Figure 2
+
+
+def bullet_figure2(rig: Rig, sizes=None, repeats: int = 3,
+                   p_factor: int = 2) -> MeasurementTable:
+    """Fig. 2: Bullet READ and CREATE+DEL delay per file size.
+
+    READ is measured with the file fully in the server's RAM cache
+    ("In all cases the test file will be completely in memory, and no
+    disk accesses are necessary"); CREATE+DEL writes through to both
+    disks ("the file is written to both disks. Note that both creation
+    and deletion involve requests to two disks.").
+    """
+    assert rig.bullet_client is not None, "rig was built without Bullet"
+    env, client = rig.env, rig.bullet_client
+    table = MeasurementTable(title="Bullet file server", columns=["READ", "CREATE+DEL"])
+    for size in sizes or PAPER_SIZES:
+        payload = bytes(size)
+        # --- READ: create once (warms the cache), then timed reads.
+        _setup, cap = timed(env, client.create(payload, p_factor))
+        total = 0.0
+        for _ in range(repeats):
+            elapsed, data = timed(env, client.read(cap))
+            assert len(data) == size
+            total += elapsed
+        table.record(size, "READ", total / repeats)
+        timed(env, client.delete(cap))
+        # --- CREATE+DEL measured together, as in the paper.
+        total = 0.0
+        for _ in range(repeats):
+            def create_and_delete():
+                c = yield from client.create(payload, p_factor)
+                yield from client.delete(c)
+
+            elapsed, _ = timed(env, create_and_delete())
+            total += elapsed
+        table.record(size, "CREATE+DEL", total / repeats)
+    return table
+
+
+# ------------------------------------------------------------- Figure 3
+
+
+def nfs_figure3(rig: Rig, sizes=None, repeats: int = 3) -> MeasurementTable:
+    """Fig. 3: SUN NFS READ and CREATE delay per file size.
+
+    "The read test consisted of an lseek followed by a read system
+    call. The write test consisted of consecutively executing creat,
+    write, and close." Local client caching is off (lockf).
+    """
+    assert rig.nfs_client is not None, "rig was built without NFS"
+    env, client = rig.env, rig.nfs_client
+    table = MeasurementTable(title="SUN NFS file server", columns=["READ", "CREATE"])
+    for i, size in enumerate(sizes or PAPER_SIZES):
+        payload = bytes(size)
+        path = f"/bench_{i}_{size}"
+
+        # Setup: put the file in place (and warm the server cache).
+        def setup():
+            fd = yield from client.creat(path)
+            yield from client.write(fd, payload)
+            yield from client.close(fd)
+            return (yield from client.open(path))
+
+        _elapsed, fd = timed(env, setup())
+
+        def lseek_read():
+            yield from client.lseek(fd, 0)
+            data = yield from client.read(fd, size)
+            assert len(data) == size
+
+        total = 0.0
+        for _ in range(repeats):
+            elapsed, _ = timed(env, lseek_read())
+            total += elapsed
+        table.record(size, "READ", total / repeats)
+        timed(env, client.close(fd))
+        timed(env, client.unlink(path))
+
+        # CREATE: creat + write + close, cleanup unmeasured.
+        total = 0.0
+        for r in range(repeats):
+            cpath = f"/create_{i}_{r}"
+
+            def creat_write_close():
+                cfd = yield from client.creat(cpath)
+                yield from client.write(cfd, payload)
+                yield from client.close(cfd)
+
+            elapsed, _ = timed(env, creat_write_close())
+            total += elapsed
+            timed(env, client.unlink(cpath))
+        table.record(size, "CREATE", total / repeats)
+    return table
+
+
+# ----------------------------------------------------- A5: scalability
+
+
+def throughput_vs_clients(client_counts, file_size: int = 4 * KB,
+                          duration: float = 20.0, seed: int = 1989,
+                          testbed: Testbed = DEFAULT_TESTBED) -> dict:
+    """Sustained read throughput (ops/sec) as concurrent clients grow.
+
+    Each client loops whole-file reads of a private cached file; the
+    shared Ethernet and the single-threaded server are the contended
+    resources, exactly the paper's quantitative-scalability concern.
+    """
+    results = {}
+    for n in client_counts:
+        rig = make_rig(seed=seed, testbed=testbed, with_nfs=False,
+                       background_load=False)
+        env, client = rig.env, rig.bullet_client
+        caps = [run_process(env, client.create(bytes(file_size), 1))
+                for _ in range(n)]
+        completed = [0] * n
+
+        def client_loop(index):
+            while True:
+                yield env.process(client.read(caps[index]))
+                completed[index] += 1
+
+        start = env.now
+        for index in range(n):
+            env.process(client_loop(index))
+        env.run(until=start + duration)
+        results[n] = sum(completed) / duration
+    return results

@@ -1,0 +1,6 @@
+"""Immutable B-tree (§2's database-over-many-small-files pattern)."""
+
+from .nodes import InternalNode, LeafNode, decode_node
+from .tree import ImmutableBTree
+
+__all__ = ["ImmutableBTree", "InternalNode", "LeafNode", "decode_node"]

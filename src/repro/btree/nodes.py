@@ -1,0 +1,101 @@
+"""Node encoding for the immutable B-tree (§2's database pattern).
+
+"Data bases can be subdivided over many smaller Bullet files, for
+example based on the identifying keys." Each B-tree node is one
+immutable Bullet file; an update path-copies the nodes it touches and
+yields a brand-new root capability, so every committed root is a
+consistent snapshot forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..capability import CAP_WIRE_SIZE, Capability
+from ..errors import ConsistencyError
+
+__all__ = ["LeafNode", "InternalNode", "decode_node"]
+
+_LEAF_MAGIC = 0xB7EE1EAF
+_INTERNAL_MAGIC = 0xB7EE0000
+
+
+@dataclass
+class LeafNode:
+    """Sorted (key, value) pairs; keys and values are bytes."""
+
+    keys: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        parts = [_LEAF_MAGIC.to_bytes(4, "big"),
+                 len(self.keys).to_bytes(4, "big")]
+        for key, value in zip(self.keys, self.values):
+            parts.append(len(key).to_bytes(2, "big"))
+            parts.append(key)
+            parts.append(len(value).to_bytes(4, "big"))
+            parts.append(value)
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "LeafNode":
+        count = int.from_bytes(data[4:8], "big")
+        keys, values = [], []
+        offset = 8
+        for _ in range(count):
+            klen = int.from_bytes(data[offset:offset + 2], "big")
+            offset += 2
+            keys.append(bytes(data[offset:offset + klen]))
+            offset += klen
+            vlen = int.from_bytes(data[offset:offset + 4], "big")
+            offset += 4
+            values.append(bytes(data[offset:offset + vlen]))
+            offset += vlen
+        return cls(keys=keys, values=values)
+
+
+@dataclass
+class InternalNode:
+    """``len(children) == len(separators) + 1``; keys < separators[i]
+    descend into children[i]."""
+
+    separators: list = field(default_factory=list)   # bytes keys
+    children: list = field(default_factory=list)     # Capability per child
+
+    def encode(self) -> bytes:
+        parts = [_INTERNAL_MAGIC.to_bytes(4, "big"),
+                 len(self.separators).to_bytes(4, "big")]
+        for sep in self.separators:
+            parts.append(len(sep).to_bytes(2, "big"))
+            parts.append(sep)
+        for child in self.children:
+            parts.append(child.pack())
+        return b"".join(parts)
+
+    @classmethod
+    def decode_body(cls, data: bytes) -> "InternalNode":
+        count = int.from_bytes(data[4:8], "big")
+        separators = []
+        offset = 8
+        for _ in range(count):
+            klen = int.from_bytes(data[offset:offset + 2], "big")
+            offset += 2
+            separators.append(bytes(data[offset:offset + klen]))
+            offset += klen
+        children = []
+        for _ in range(count + 1):
+            children.append(Capability.unpack(data[offset:offset + CAP_WIRE_SIZE]))
+            offset += CAP_WIRE_SIZE
+        return cls(separators=separators, children=children)
+
+
+def decode_node(data: bytes):
+    """Decode either node kind from its file bytes."""
+    if len(data) < 8:
+        raise ConsistencyError("B-tree node file truncated")
+    magic = int.from_bytes(data[0:4], "big")
+    if magic == _LEAF_MAGIC:
+        return LeafNode.decode_body(data)
+    if magic == _INTERNAL_MAGIC:
+        return InternalNode.decode_body(data)
+    raise ConsistencyError(f"not a B-tree node (magic {magic:#x})")

@@ -1,0 +1,191 @@
+"""Amoeba-style sparse capabilities (§2.1 of the paper).
+
+A capability has four parts:
+
+1. **Server port** — a 48-bit location-independent number naming the
+   server that manages the object.
+2. **Object number** — identifies the object within the server (e.g. the
+   index into the Bullet server's inode table).
+3. **Rights field** — which operations the holder may invoke.
+4. **Check field** — 48 bits protecting the capability against forging
+   and tampering.
+
+The check-field scheme follows Tanenbaum/Mullender/van Renesse, "Using
+Sparse Capabilities in a Distributed Operating System" (ref. [12] of the
+paper), which is the scheme the Bullet server actually used:
+
+* The **owner capability** has ``rights == ALL_RIGHTS`` and carries the
+  object's secret random number *itself* in the check field.
+* Anyone holding the owner capability may **restrict** it locally
+  (without a server round trip): the restricted capability has
+  ``rights' = rights & mask`` and ``check' = f(secret ^ pad(rights'))``
+  where ``f`` is a public one-way function.
+* The server **verifies** a presented capability against the secret in
+  the object's inode: owner capabilities must match the secret exactly;
+  restricted ones must match ``f(secret ^ pad(rights))``.
+
+Because ``f`` is one-way, a holder of a restricted capability cannot
+recover the secret and therefore cannot amplify rights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from ..errors import BadRequestError, CapabilityError, RightsError
+from .crypto import CHECK_MASK, one_way
+from .rights import ALL_RIGHTS, has_rights, rights_names
+
+__all__ = [
+    "Capability",
+    "NULL_CAPABILITY",
+    "mint_owner",
+    "restrict",
+    "verify",
+    "require",
+    "port_for_name",
+    "CAP_WIRE_SIZE",
+]
+
+PORT_BITS = 48
+PORT_MASK = (1 << PORT_BITS) - 1
+OBJECT_BITS = 24
+OBJECT_MASK = (1 << OBJECT_BITS) - 1
+
+#: Wire size of a marshalled capability: 6 (port) + 3 (object) +
+#: 1 (rights) + 6 (check) = 16 bytes, as in Amoeba.
+CAP_WIRE_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An unforgeable reference to one object on one server."""
+
+    port: int
+    object: int
+    rights: int
+    check: int
+
+    def __post_init__(self):
+        if not 0 <= self.port <= PORT_MASK:
+            raise BadRequestError(f"port out of range: {self.port:#x}")
+        if not 0 <= self.object <= OBJECT_MASK:
+            raise BadRequestError(f"object number out of range: {self.object}")
+        if not 0 <= self.rights <= ALL_RIGHTS:
+            raise BadRequestError(f"rights out of range: {self.rights:#x}")
+        if not 0 <= self.check <= CHECK_MASK:
+            raise BadRequestError(f"check field out of range: {self.check:#x}")
+
+    def pack(self) -> bytes:
+        """Marshal to the 16-byte wire format."""
+        return (
+            self.port.to_bytes(6, "big")
+            + self.object.to_bytes(3, "big")
+            + self.rights.to_bytes(1, "big")
+            + self.check.to_bytes(6, "big")
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Capability":
+        """Unmarshal from the 16-byte wire format."""
+        if len(data) != CAP_WIRE_SIZE:
+            raise BadRequestError(
+                f"capability wire size must be {CAP_WIRE_SIZE}, got {len(data)}"
+            )
+        return cls(
+            port=int.from_bytes(data[0:6], "big"),
+            object=int.from_bytes(data[6:9], "big"),
+            rights=data[9],
+            check=int.from_bytes(data[10:16], "big"),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"cap(port={self.port:#014x}, obj={self.object}, "
+            f"rights={rights_names(self.rights)})"
+        )
+
+
+#: The all-zero capability, conventionally "no object".
+NULL_CAPABILITY = Capability(port=0, object=0, rights=0, check=0)
+
+
+def _pad_rights(rights: int) -> int:
+    """Spread the 8 rights bits across 48 bits before XOR with the
+    secret, so flipping one rights bit perturbs the whole OWF input."""
+    value = 0
+    for i in range(6):
+        value |= rights << (8 * i)
+    return value & CHECK_MASK
+
+
+def mint_owner(port: int, object_number: int, secret: int) -> Capability:
+    """The owner capability for a freshly created object.
+
+    ``secret`` is the object's 48-bit random number, stored in its inode.
+    """
+    return Capability(port=port, object=object_number,
+                      rights=ALL_RIGHTS, check=secret & CHECK_MASK)
+
+
+def restrict(cap: Capability, mask: int) -> Capability:
+    """Derive a capability with fewer rights, entirely client-side.
+
+    Only the owner capability can be restricted locally (its check field
+    *is* the secret). Restricting an already-restricted capability needs
+    the server's help — see the servers' ``std_restrict`` operations.
+    """
+    new_rights = cap.rights & mask & ALL_RIGHTS
+    if new_rights == cap.rights:
+        return cap
+    if cap.rights != ALL_RIGHTS:
+        raise RightsError(
+            "only an owner capability can be restricted locally; "
+            "ask the server to restrict a restricted capability"
+        )
+    check = one_way(cap.check ^ _pad_rights(new_rights))
+    return replace(cap, rights=new_rights, check=check)
+
+
+def server_restrict(cap_rights: int, secret: int, mask: int) -> tuple[int, int]:
+    """Server-side restriction: compute (rights', check') for a verified
+    capability. The server knows ``secret`` so it can mint a check field
+    for any subset of the presented rights."""
+    new_rights = cap_rights & mask & ALL_RIGHTS
+    if new_rights == ALL_RIGHTS:
+        return new_rights, secret & CHECK_MASK
+    return new_rights, one_way(secret ^ _pad_rights(new_rights))
+
+
+def verify(cap: Capability, secret: int) -> bool:
+    """Server-side check of a presented capability against the object's
+    secret random number. Constant logic regardless of rights value."""
+    if cap.rights == ALL_RIGHTS:
+        return cap.check == (secret & CHECK_MASK)
+    return cap.check == one_way(secret ^ _pad_rights(cap.rights))
+
+
+def require(cap: Capability, secret: int, needed_rights: int) -> None:
+    """Verify ``cap`` and demand ``needed_rights``; raise otherwise.
+
+    Raises :class:`CapabilityError` on a forged/tampered capability and
+    :class:`RightsError` on a genuine capability lacking rights — the two
+    cases the paper's server distinguishes.
+    """
+    if not verify(cap, secret):
+        raise CapabilityError(f"check field mismatch for {cap}")
+    if not has_rights(cap.rights, needed_rights):
+        raise RightsError(
+            f"{cap} lacks rights {rights_names(needed_rights)}"
+        )
+
+
+def port_for_name(name: str) -> int:
+    """A deterministic 48-bit server port derived from a service name.
+
+    Real Amoeba servers chose random ports and published them; for
+    reproducible simulations we derive them from the service name.
+    """
+    digest = hashlib.sha256(name.encode()).digest()
+    return int.from_bytes(digest[:6], "big")

@@ -1,0 +1,51 @@
+"""Rights bits carried in capabilities.
+
+The paper (§2.1): "The rights field specifies which access rights the
+holder of the capability has to the object. For a file server there may
+be a bit indicating the right to read the file, another bit for deleting
+the file, and so on."
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RIGHT_READ",
+    "RIGHT_DELETE",
+    "RIGHT_CREATE",
+    "RIGHT_MODIFY",
+    "RIGHT_ADMIN",
+    "ALL_RIGHTS",
+    "RIGHTS_BITS",
+    "rights_names",
+    "has_rights",
+]
+
+RIGHT_READ = 0x01     # read the file / look up directory entries
+RIGHT_DELETE = 0x02   # delete the file / remove directory entries
+RIGHT_CREATE = 0x04   # create objects (directory: add entries)
+RIGHT_MODIFY = 0x08   # derive a new file from this one (BULLET.MODIFY)
+RIGHT_ADMIN = 0x10    # administrative operations (restrict, fsck, stats)
+
+ALL_RIGHTS = 0xFF
+RIGHTS_BITS = 8
+
+_NAMES = {
+    RIGHT_READ: "read",
+    RIGHT_DELETE: "delete",
+    RIGHT_CREATE: "create",
+    RIGHT_MODIFY: "modify",
+    RIGHT_ADMIN: "admin",
+}
+
+
+def rights_names(rights: int) -> str:
+    """Human-readable rendering, e.g. ``read|delete``."""
+    if rights == ALL_RIGHTS:
+        return "all"
+    names = [name for bit, name in _NAMES.items() if rights & bit]
+    return "|".join(names) if names else "none"
+
+
+def has_rights(rights: int, required: int) -> bool:
+    """True when every bit of ``required`` is present in ``rights``."""
+    return (rights & required) == required

@@ -1,0 +1,8 @@
+"""Client library (S12): Bullet stubs and client-side caching."""
+
+from .bullet_client import BulletClient, CachingBulletClient, LocalBulletStub
+from .directory_client import DirectoryClient
+from .replication import ReplicaSetClient, replicate_file
+
+__all__ = ["BulletClient", "CachingBulletClient", "DirectoryClient",
+           "LocalBulletStub", "ReplicaSetClient", "replicate_file"]

@@ -1,0 +1,223 @@
+"""Client-side access to a Bullet server (S12).
+
+Two interchangeable stubs expose the same process-method interface
+(create/size/read/delete/modify/restrict):
+
+* :class:`BulletClient` — the real thing: marshals requests over the
+  simulated network to a server's port (the paper's measured path).
+* :class:`LocalBulletStub` — calls the server's local plane directly
+  (no network): used when composing servers in one process and in unit
+  tests.
+
+:class:`CachingBulletClient` adds the §5 client cache: "Client caching
+of immutable files is straightforward" — a capability names immutable
+bytes, so a hit never needs revalidation against the *file* server; the
+cached entry is correct by construction. What may change is which
+capability a *name* refers to, and that is checked against the
+**directory** service: "simply done by looking up its capability in the
+directory service, and comparing it to the capability on which the copy
+is based."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..capability import Capability
+from ..core import OPCODES, BulletServer
+from ..errors import error_for_status
+from ..net import RpcRequest, RpcTransport
+
+__all__ = ["BulletClient", "LocalBulletStub", "CachingBulletClient"]
+
+
+class BulletClient:
+    """RPC stub for the Bullet protocol."""
+
+    def __init__(self, env, rpc: RpcTransport, server_port: int,
+                 timeout: Optional[float] = None):
+        self.env = env
+        self.rpc = rpc
+        self.port = server_port
+        self.timeout = timeout
+
+    def _call(self, request: RpcRequest):
+        reply = yield self.env.process(
+            self.rpc.trans(self.port, request, timeout=self.timeout)
+        )
+        if not reply.ok:
+            raise error_for_status(reply.status, reply.message)
+        return reply
+
+    def create(self, data: bytes, p_factor: Optional[int] = None):
+        """Process: BULLET.CREATE; returns the owner capability."""
+        args = (p_factor,) if p_factor is not None else ()
+        reply = yield from self._call(
+            RpcRequest(opcode=OPCODES["CREATE"], args=args, body=bytes(data))
+        )
+        return reply.caps[0]
+
+    def size(self, cap: Capability):
+        """Process: BULLET.SIZE; returns the file size in bytes."""
+        reply = yield from self._call(RpcRequest(opcode=OPCODES["SIZE"], cap=cap))
+        return reply.args[0]
+
+    def read(self, cap: Capability):
+        """Process: BULLET.READ; returns the whole file."""
+        reply = yield from self._call(RpcRequest(opcode=OPCODES["READ"], cap=cap))
+        return reply.body
+
+    def delete(self, cap: Capability):
+        """Process: BULLET.DELETE."""
+        yield from self._call(RpcRequest(opcode=OPCODES["DELETE"], cap=cap))
+
+    def modify(self, cap: Capability, offset: int, delete_bytes: int,
+               insert_data: bytes, p_factor: Optional[int] = None):
+        """Process: the MODIFY extension; returns the new capability."""
+        reply = yield from self._call(
+            RpcRequest(
+                opcode=OPCODES["MODIFY"],
+                cap=cap,
+                args=(offset, delete_bytes, p_factor),
+                body=bytes(insert_data),
+            )
+        )
+        return reply.caps[0]
+
+    def restrict(self, cap: Capability, mask: int):
+        """Process: server-side rights restriction."""
+        reply = yield from self._call(
+            RpcRequest(opcode=OPCODES["RESTRICT"], cap=cap, args=(mask,))
+        )
+        return reply.caps[0]
+
+    def stat(self, cap: Capability):
+        """Process: server status snapshot (requires any valid cap)."""
+        reply = yield from self._call(RpcRequest(opcode=OPCODES["STAT"], cap=cap))
+        return reply.args[0]
+
+
+class LocalBulletStub:
+    """Same interface, wired straight to a server's local plane.
+
+    Each method is a thin process delegating to the corresponding
+    :class:`~repro.core.BulletServer` operation; see those docstrings.
+    """
+
+    def __init__(self, server: BulletServer):
+        self.server = server
+        self.env = server.env
+        self.port = server.port
+
+    def create(self, data: bytes, p_factor: Optional[int] = None):
+        """Process: BULLET.CREATE on the local server."""
+        return (yield from self.server.create(data, p_factor))
+
+    def size(self, cap: Capability):
+        """Process: BULLET.SIZE on the local server."""
+        return (yield from self.server.size(cap))
+
+    def read(self, cap: Capability):
+        """Process: BULLET.READ on the local server."""
+        return (yield from self.server.read(cap))
+
+    def delete(self, cap: Capability):
+        """Process: BULLET.DELETE on the local server."""
+        yield from self.server.delete(cap)
+
+    def modify(self, cap: Capability, offset: int, delete_bytes: int,
+               insert_data: bytes, p_factor: Optional[int] = None):
+        """Process: the MODIFY extension on the local server."""
+        return (yield from self.server.modify(cap, offset, delete_bytes,
+                                              insert_data, p_factor))
+
+    def restrict(self, cap: Capability, mask: int):
+        """Process: server-side rights restriction."""
+        return (yield from self.server.restrict_cap(cap, mask))
+
+    def stat(self, cap: Capability):
+        """Process: status snapshot of the local server."""
+        yield from ()
+        return self.server.status()
+
+
+class CachingBulletClient:
+    """A Bullet stub wrapper with an LRU client cache of whole files.
+
+    Keys are packed capabilities: immutability makes a hit permanently
+    valid for that capability. ``lookup_validated`` implements the §5 freshness
+    check for *names*: resolve the name in the directory and compare the
+    returned capability with the cached one.
+    """
+
+    def __init__(self, stub, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("client cache capacity must be positive")
+        self.stub = stub
+        self.env = stub.env
+        self.capacity = capacity_bytes
+        self._entries: OrderedDict[bytes, bytes] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    # The mutating operations pass straight through.
+
+    def create(self, data: bytes, p_factor: Optional[int] = None):
+        """Process: pass-through create (new files are not pre-cached)."""
+        return (yield from self.stub.create(data, p_factor))
+
+    def size(self, cap: Capability):
+        """Process: size from the cache when the file is held locally."""
+        key = cap.pack()
+        if key in self._entries:
+            yield from ()
+            return len(self._entries[key])
+        return (yield from self.stub.size(cap))
+
+    def delete(self, cap: Capability):
+        """Process: delete, invalidating any cached copy."""
+        self._entries.pop(cap.pack(), None)
+        yield from self.stub.delete(cap)
+
+    def modify(self, cap: Capability, offset: int, delete_bytes: int,
+               insert_data: bytes, p_factor: Optional[int] = None):
+        """Process: pass-through MODIFY (the result is a new file)."""
+        return (yield from self.stub.modify(cap, offset, delete_bytes,
+                                            insert_data, p_factor))
+
+    def read(self, cap: Capability):
+        """Process: read through the cache. A hit costs no RPC at all."""
+        key = cap.pack()
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            yield from ()
+            return cached
+        self.misses += 1
+        data = yield from self.stub.read(cap)
+        self._admit(key, data)
+        return data
+
+    def lookup_validated(self, directory, dir_cap: Capability, name: str,
+                         based_on: Capability):
+        """Process: the §5 currency check. Returns (is_current, cap):
+        looks ``name`` up in the directory and compares with the
+        capability the cached copy is based on."""
+        current = yield from directory.lookup(dir_cap, name)
+        return current == based_on, current
+
+    def _admit(self, key: bytes, data: bytes) -> None:
+        if len(data) > self.capacity:
+            return  # too large to cache; serve-through only
+        while self._used + len(data) > self.capacity and self._entries:
+            _old_key, old = self._entries.popitem(last=False)
+            self._used -= len(old)
+        self._entries[key] = data
+        self._used += len(data)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._used

@@ -1,0 +1,91 @@
+"""File replication across Bullet servers (the paper's "support for
+replication" beyond the mirrored disks of one server).
+
+Immutability makes cross-server replication trivial: copy the bytes,
+get a second capability, bind **both** under the name as a capability
+set in the directory. Readers try the members in order and succeed as
+long as any replica's server is up; there is no coherence protocol to
+run because neither copy can ever change.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..capability import Capability
+from ..errors import ReproError, ServerDownError
+from .bullet_client import BulletClient
+
+__all__ = ["replicate_file", "ReplicaSetClient"]
+
+
+def replicate_file(src_stub, dst_stub, cap: Capability,
+                   p_factor: Optional[int] = None):
+    """Process: copy the immutable file behind ``cap`` from one Bullet
+    server to another; returns the new capability on ``dst_stub``'s
+    server."""
+    data = yield from src_stub.read(cap)
+    return (yield from dst_stub.create(data, p_factor))
+
+
+class ReplicaSetClient:
+    """Reads from capability sets: first live replica wins."""
+
+    def __init__(self, env, rpc, timeout: float = 2.0):
+        self.env = env
+        self.rpc = rpc
+        self.timeout = timeout
+        self.failovers = 0
+
+    def _client_for(self, cap: Capability) -> BulletClient:
+        return BulletClient(self.env, self.rpc, cap.port, timeout=self.timeout)
+
+    def read(self, caps: Iterable[Capability]):
+        """Process: the file's bytes from the first reachable replica.
+
+        Tries the members in order; a member only counts as failed on a
+        transport-level error (server down / timeout) — a genuine server
+        error (bad capability) is raised immediately, because every
+        replica would answer the same way.
+        """
+        caps = list(caps)
+        if not caps:
+            raise ServerDownError("empty capability set")
+        last: Optional[ReproError] = None
+        for index, cap in enumerate(caps):
+            try:
+                data = yield from self._client_for(cap).read(cap)
+                if index > 0:
+                    self.failovers += 1
+                return data
+            except ServerDownError as exc:
+                last = exc
+                continue
+        assert last is not None
+        raise last
+
+    def size(self, caps: Iterable[Capability]):
+        """Process: the file size from the first reachable replica."""
+        caps = list(caps)
+        if not caps:
+            raise ServerDownError("empty capability set")
+        last: Optional[ReproError] = None
+        for cap in caps:
+            try:
+                return (yield from self._client_for(cap).size(cap))
+            except ServerDownError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    def delete_all(self, caps: Iterable[Capability]):
+        """Process: delete every reachable replica; returns how many
+        were deleted (unreachable ones are left for their servers' GC)."""
+        deleted = 0
+        for cap in caps:
+            try:
+                yield from self._client_for(cap).delete(cap)
+                deleted += 1
+            except ServerDownError:
+                continue
+        return deleted

@@ -1,0 +1,45 @@
+"""The Bullet file server — the paper's primary contribution (S7).
+
+Public surface:
+
+* :class:`BulletServer` — the server itself (local + RPC planes).
+* :func:`compact_disk` / :func:`nightly_compaction` — the §3 compaction job.
+* The building blocks (inodes, layout, free lists, cache, recovery) for
+  tests, ablations, and downstream reuse.
+"""
+
+from .cache import BulletCache, CacheStats, Rnode
+from .compaction import CompactionReport, compact_disk, nightly_compaction
+from .freelist import Extent, ExtentFreeList
+from .inode import INODE_SIZE, DiskDescriptor, Inode, InodeTable
+from .layout import VolumeLayout, format_volume, render_layout
+from .recovery import ScanReport, scan_volume
+from .replication import check_p_factor, replicated_file_write, replicated_inode_write
+from .server import OPCODES, BulletServer
+from .stats import ServerStats
+
+__all__ = [
+    "BulletCache",
+    "CacheStats",
+    "Rnode",
+    "CompactionReport",
+    "compact_disk",
+    "nightly_compaction",
+    "Extent",
+    "ExtentFreeList",
+    "INODE_SIZE",
+    "DiskDescriptor",
+    "Inode",
+    "InodeTable",
+    "VolumeLayout",
+    "format_volume",
+    "render_layout",
+    "ScanReport",
+    "scan_volume",
+    "check_p_factor",
+    "replicated_file_write",
+    "replicated_inode_write",
+    "OPCODES",
+    "BulletServer",
+    "ServerStats",
+]

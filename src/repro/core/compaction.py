@@ -1,0 +1,96 @@
+"""Disk compaction — the "3 a.m. job" (§3).
+
+"The disk fragmentation can also be relieved by compaction every morning
+at say 3 am when the system is lightly loaded."
+
+Compaction slides every live file toward the start of the data area, in
+address order, leaving all free space as one hole at the end. Each move
+is a timed read from the primary followed by replicated writes of the
+data and the file's inode block, so the experiment A4 can measure what
+compaction actually costs.
+
+Moving left in address order is safe even when source and target extents
+overlap: the whole file is read into memory before the write starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import AllOf
+from .server import BulletServer
+
+__all__ = ["CompactionReport", "compact_disk", "nightly_compaction"]
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass did."""
+
+    files_moved: int = 0
+    blocks_moved: int = 0
+    duration: float = 0.0
+    fragmentation_before: float = 0.0
+    fragmentation_after: float = 0.0
+    largest_hole_before: int = 0
+    largest_hole_after: int = 0
+
+
+def compact_disk(server: BulletServer):
+    """Process: one full compaction pass over ``server``'s volume."""
+    env = server.env
+    layout = server.layout
+    report = CompactionReport(
+        fragmentation_before=server.disk_free.external_fragmentation(),
+        largest_hole_before=server.disk_free.largest_hole,
+    )
+    started = env.now
+    live = sorted(server.table.live_inodes(), key=lambda item: item[1].start_block)
+    cursor = layout.data_start
+    for number, inode in live:
+        blocks = layout.blocks_for(inode.size)
+        if blocks == 0:
+            continue
+        if inode.start_block != cursor:
+            data = yield from server.mirror.read_with_failover(
+                inode.start_block, blocks
+            )
+            writes = [
+                env.process(_move_on_disk(server, disk, number, cursor, data))
+                for disk in server.mirror.live_disks
+            ]
+            old_start = inode.start_block
+            inode.start_block = cursor
+            # Update the free map: the file now owns [cursor, cursor+blocks).
+            server.disk_free.free(old_start, blocks)
+            server.disk_free.allocate_at(cursor, blocks)
+            yield AllOf(env, writes)
+            report.files_moved += 1
+            report.blocks_moved += blocks
+        cursor += blocks
+    server.disk_free.check_invariants()
+    report.duration = env.now - started
+    report.fragmentation_after = server.disk_free.external_fragmentation()
+    report.largest_hole_after = server.disk_free.largest_hole
+    server._trace("bullet", "compaction",
+                  moved=report.files_moved, blocks=report.blocks_moved)
+    return report
+
+
+def _move_on_disk(server: BulletServer, disk, number: int, new_start: int,
+                  data: bytes):
+    """Write the relocated extent and its updated inode block on one disk."""
+    yield disk.write(new_start, data)
+    inode_block = server.table.block_of_inode(number)
+    yield disk.write(inode_block, server.table.encode_block(inode_block))
+
+
+def nightly_compaction(server: BulletServer, period: float = 24 * 3600.0,
+                       first_at: float = 3 * 3600.0):
+    """Process: run compaction every ``period`` seconds, first at 3 a.m."""
+    env = server.env
+    if first_at > env.now:
+        yield env.timeout(first_at - env.now)
+    while True:
+        yield from compact_disk(server)
+        yield env.timeout(period)

@@ -1,0 +1,248 @@
+"""Bullet server inodes and the resident inode table (§3).
+
+An inode is 16 bytes on disk, exactly as the paper specifies:
+
+1. A 6-byte random number used for access protection (the capability
+   check secret).
+2. A 2-byte *index* into the rnode (cache) table — "no significance on
+   disk", so it is always written to disk as zero.
+3. A 4-byte first-block number of the file's contiguous extent.
+4. A 4-byte file size in bytes.
+
+A zero-filled inode is free. Inode 0 is special: it holds the **disk
+descriptor** (block size, control size, data size — three 4-byte
+integers), so real files have object numbers >= 1.
+
+"When the file server starts up, it reads the complete inode table into
+the RAM inode table and keeps it there permanently."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import BadRequestError, ConsistencyError, NoSpaceError
+
+__all__ = ["Inode", "InodeTable", "DiskDescriptor", "INODE_SIZE"]
+
+INODE_SIZE = 16
+SECRET_BYTES = 6
+MAX_FILE_SIZE = (1 << 32) - 1
+
+
+@dataclass
+class Inode:
+    """One resident inode. ``secret == 0`` means the inode is free."""
+
+    secret: int = 0        # 48-bit capability secret; 0 = free inode
+    index: int = 0         # rnode index + 1 if cached, 0 otherwise (RAM only)
+    start_block: int = 0   # first block of the contiguous extent
+    size: int = 0          # file size in bytes
+
+    @property
+    def free(self) -> bool:
+        return self.secret == 0
+
+    def encode(self) -> bytes:
+        """The 16-byte on-disk form. The cache index is volatile and is
+        written as zero."""
+        if not 0 <= self.secret < (1 << 48):
+            raise BadRequestError(f"inode secret out of range: {self.secret:#x}")
+        if not 0 <= self.size <= MAX_FILE_SIZE:
+            raise BadRequestError(f"inode size out of range: {self.size}")
+        return (
+            self.secret.to_bytes(6, "big")
+            + (0).to_bytes(2, "big")
+            + self.start_block.to_bytes(4, "big")
+            + self.size.to_bytes(4, "big")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Inode":
+        if len(data) != INODE_SIZE:
+            raise BadRequestError(f"inode must be {INODE_SIZE} bytes, got {len(data)}")
+        return cls(
+            secret=int.from_bytes(data[0:6], "big"),
+            index=int.from_bytes(data[6:8], "big"),
+            start_block=int.from_bytes(data[8:12], "big"),
+            size=int.from_bytes(data[12:16], "big"),
+        )
+
+
+@dataclass(frozen=True)
+class DiskDescriptor:
+    """Inode entry 0: the volume's shape.
+
+    * ``block_size`` — the physical sector size used by the disk hardware;
+    * ``control_size`` — the number of blocks in the inode table;
+    * ``data_size`` — the number of blocks in the file (data) area.
+    """
+
+    block_size: int
+    control_size: int
+    data_size: int
+
+    MAGIC = 0xB011E7  # identifies a formatted Bullet volume
+
+    def encode(self) -> bytes:
+        return (
+            self.MAGIC.to_bytes(4, "big")
+            + self.block_size.to_bytes(4, "big")
+            + self.control_size.to_bytes(4, "big")
+            + self.data_size.to_bytes(4, "big")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DiskDescriptor":
+        if len(data) < INODE_SIZE:
+            raise BadRequestError("descriptor needs 16 bytes")
+        magic = int.from_bytes(data[0:4], "big")
+        if magic != cls.MAGIC:
+            raise ConsistencyError(
+                f"not a Bullet volume (magic {magic:#x} != {cls.MAGIC:#x})"
+            )
+        return cls(
+            block_size=int.from_bytes(data[4:8], "big"),
+            control_size=int.from_bytes(data[8:12], "big"),
+            data_size=int.from_bytes(data[12:16], "big"),
+        )
+
+
+class InodeTable:
+    """The complete inode table, resident in server RAM.
+
+    Tracks free inodes in a list ("unused inodes ... are maintained in a
+    list") and maps inode numbers to/from disk blocks for write-through
+    of single inode updates ("the whole disk block containing the inode
+    has to be written").
+    """
+
+    def __init__(self, descriptor: DiskDescriptor, count: int):
+        if count < 2:
+            raise BadRequestError("inode table needs at least 2 entries")
+        self.descriptor = descriptor
+        self.count = count
+        self._inodes: list[Inode] = [Inode() for _ in range(count)]
+        self._free: list[int] = list(range(count - 1, 0, -1))  # stack; low first out
+
+    # ------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return self.count
+
+    def get(self, number: int) -> Inode:
+        """The inode for object ``number`` (1-based; 0 is the descriptor)."""
+        if not 1 <= number < self.count:
+            raise BadRequestError(f"inode number {number} out of range")
+        return self._inodes[number]
+
+    def live_inodes(self) -> Iterator[tuple[int, Inode]]:
+        """(number, inode) for every in-use inode."""
+        for number in range(1, self.count):
+            inode = self._inodes[number]
+            if not inode.free:
+                yield number, inode
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for _ in self.live_inodes())
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    # -------------------------------------------------------- allocation
+
+    def allocate(self, secret: int, start_block: int, size: int) -> int:
+        """Claim a free inode; returns its number."""
+        if secret == 0:
+            raise BadRequestError("inode secret must be nonzero")
+        if not self._free:
+            raise NoSpaceError("inode table exhausted")
+        number = self._free.pop()
+        inode = self._inodes[number]
+        assert inode.free, f"free list corrupt: inode {number} is live"
+        inode.secret = secret
+        inode.index = 0
+        inode.start_block = start_block
+        inode.size = size
+        return number
+
+    def release(self, number: int) -> None:
+        """Zero an inode ("freeing an inode by zeroing it") and return it
+        to the free list."""
+        inode = self.get(number)
+        if inode.free:
+            raise BadRequestError(f"inode {number} is already free")
+        inode.secret = 0
+        inode.index = 0
+        inode.start_block = 0
+        inode.size = 0
+        self._free.append(number)
+
+    # ----------------------------------------------------- (de)serializing
+
+    def encode_block(self, block_index: int) -> bytes:
+        """The on-disk bytes of inode-table block ``block_index``.
+
+        Block 0 starts with the disk descriptor in inode slot 0.
+        """
+        per_block = self.inodes_per_block
+        first = block_index * per_block
+        parts = []
+        for number in range(first, min(first + per_block, self.count)):
+            if number == 0:
+                parts.append(self.descriptor.encode())
+            else:
+                parts.append(self._inodes[number].encode())
+        blob = b"".join(parts)
+        return blob + bytes(self.descriptor.block_size - len(blob))
+
+    def block_of_inode(self, number: int) -> int:
+        """Which inode-table block holds inode ``number``."""
+        if not 0 <= number < self.count:
+            raise BadRequestError(f"inode number {number} out of range")
+        return number // self.inodes_per_block
+
+    @property
+    def inodes_per_block(self) -> int:
+        return self.descriptor.block_size // INODE_SIZE
+
+    @property
+    def table_blocks(self) -> int:
+        per_block = self.inodes_per_block
+        return (self.count + per_block - 1) // per_block
+
+    def encode(self) -> bytes:
+        """The whole table as written at format time."""
+        return b"".join(self.encode_block(b) for b in range(self.table_blocks))
+
+    @classmethod
+    def decode(cls, data: bytes, block_size: int) -> "InodeTable":
+        """Rebuild the resident table from the raw inode-table bytes.
+
+        The free list is rebuilt by scanning for zero-filled inodes,
+        exactly as the startup scan does.
+        """
+        descriptor = DiskDescriptor.decode(data[:INODE_SIZE])
+        if descriptor.block_size != block_size:
+            raise ConsistencyError(
+                f"descriptor block size {descriptor.block_size} != disk {block_size}"
+            )
+        count = min(
+            descriptor.control_size * (block_size // INODE_SIZE),
+            len(data) // INODE_SIZE,
+        )
+        table = cls.__new__(cls)
+        table.descriptor = descriptor
+        table.count = count
+        table._inodes = [Inode()]
+        for number in range(1, count):
+            raw = data[number * INODE_SIZE:(number + 1) * INODE_SIZE]
+            table._inodes.append(Inode.decode(raw))
+        table._free = [
+            number for number in range(count - 1, 0, -1)
+            if table._inodes[number].free
+        ]
+        return table

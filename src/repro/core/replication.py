@@ -1,0 +1,79 @@
+"""Write-through replication and the P-FACTOR (§2.2, §3).
+
+"If the P-FACTOR is zero, BULLET.CREATE will return immediately after
+the file has been copied to the file server's RAM cache, but before it
+has been stored on disk. ... If the P-FACTOR is N, the file will be
+stored on N disks before the client can resume."
+
+Each live replica gets the same two-step, crash-ordered write: the data
+extent first, then the block of the inode table containing the new
+inode — so a crash between the two leaves only an unreferenced extent,
+never an inode pointing at garbage. The create path replies once
+``p_factor`` replicas have completed both steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..disk import MirroredDiskSet, VirtualDisk
+from ..errors import BadRequestError, ServerDownError
+from ..sim import CountOf, Environment, Event
+
+__all__ = ["replicated_file_write", "replicated_inode_write", "check_p_factor"]
+
+
+def check_p_factor(p_factor: int, mirror: MirroredDiskSet) -> None:
+    """Validate a requested paranoia factor against the configuration.
+
+    "If the P-FACTOR is N, ... this requires the file server to have at
+    least N disks available for replication."
+    """
+    if p_factor < 0:
+        raise BadRequestError(f"p-factor must be >= 0, got {p_factor}")
+    if p_factor > len(mirror.disks):
+        raise BadRequestError(
+            f"p-factor {p_factor} exceeds the server's {len(mirror.disks)} disks"
+        )
+    if p_factor > mirror.replica_count:
+        raise ServerDownError(
+            f"p-factor {p_factor} requires more live disks than the "
+            f"{mirror.replica_count} currently available"
+        )
+
+
+def _write_one_replica(env: Environment, disk: VirtualDisk,
+                       data_block: Optional[int], data: bytes,
+                       inode_block: int, inode_block_bytes: bytes):
+    """Process: make one replica durable (data extent, then inode block)."""
+    if data:
+        assert data_block is not None
+        yield disk.write(data_block, data)
+    yield disk.write(inode_block, inode_block_bytes)
+    return disk.name
+
+
+def replicated_file_write(env: Environment, mirror: MirroredDiskSet,
+                          data_block: Optional[int], data: bytes,
+                          inode_block: int, inode_block_bytes: bytes,
+                          p_factor: int) -> Event:
+    """Start data+inode writes on every live replica.
+
+    Returns an event firing once ``p_factor`` replicas are durable
+    (immediately for ``p_factor == 0``); the remaining replicas keep
+    writing in the background.
+    """
+    writes = [
+        env.process(_write_one_replica(env, disk, data_block, data,
+                                       inode_block, inode_block_bytes))
+        for disk in mirror.live_disks
+    ]
+    return CountOf(env, writes, need=min(p_factor, len(writes)))
+
+
+def replicated_inode_write(env: Environment, mirror: MirroredDiskSet,
+                           inode_block: int, inode_block_bytes: bytes) -> Event:
+    """Write one inode-table block through to every live replica (the
+    delete path: "freeing an inode by zeroing it and writing it back to
+    the disk"; waits for all replicas)."""
+    return mirror.write(inode_block, inode_block_bytes)

@@ -1,0 +1,481 @@
+"""The Bullet file server (the paper's contribution, §2–§3).
+
+Files are immutable, stored contiguously on disk and in the RAM cache,
+and transferred whole. The interface is the paper's four functions —
+CREATE, SIZE, READ, DELETE — plus the §5 extension MODIFY (derive a new
+file from an existing one server-side) and the administrative
+operations (STAT, RESTRICT, COMPACT, FSCK).
+
+The server exposes two equivalent planes:
+
+* **Local plane** — ``yield env.process(server.create(data, p))`` etc.:
+  the full server logic with disk, cache, and CPU timing but no network.
+  Tests and in-process composition (the directory server embedding a
+  Bullet volume) use this.
+* **RPC plane** — a single-threaded service loop on the server's port;
+  clients use :class:`repro.client.BulletClient`. This is what the
+  paper's measurements exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..capability import (
+    Capability,
+    RIGHT_DELETE,
+    RIGHT_MODIFY,
+    RIGHT_READ,
+    mint_owner,
+    port_for_name,
+    require,
+    server_restrict,
+)
+from ..disk import MirroredDiskSet
+from ..errors import (
+    BadRequestError,
+    FileTooBigError,
+    NotFoundError,
+    ReproError,
+)
+from ..net import RpcReply, RpcRequest, RpcTransport
+from ..profiles import Testbed
+from ..sim import Environment, SeededStream, Tracer
+from .cache import BulletCache
+from .freelist import ExtentFreeList
+from .inode import InodeTable
+from .layout import VolumeLayout, format_volume, render_layout
+from .recovery import ScanReport, scan_volume
+from .replication import check_p_factor, replicated_file_write, replicated_inode_write
+from .stats import ServerStats
+
+__all__ = ["BulletServer", "OPCODES"]
+
+
+#: RPC opcodes of the Bullet protocol.
+OPCODES = {
+    "CREATE": 1,
+    "READ": 2,
+    "SIZE": 3,
+    "DELETE": 4,
+    "MODIFY": 5,
+    "STAT": 6,
+    "RESTRICT": 7,
+}
+
+
+class BulletServer:
+    """One Bullet file server instance over a mirrored disk set."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mirror: MirroredDiskSet,
+        testbed: Testbed,
+        name: str = "bullet",
+        transport: Optional[RpcTransport] = None,
+        master_seed: int = 0,
+        cache_policy: str = "lru",
+        alloc_strategy: str = "first_fit",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.mirror = mirror
+        self.testbed = testbed
+        self.name = name
+        self.port = port_for_name(name)
+        self.transport = transport
+        self.stats = ServerStats()
+        self._tracer = tracer
+        self._secrets = SeededStream(master_seed, f"{name}:secrets")
+        self._cache_policy = cache_policy
+        self._alloc_strategy = alloc_strategy
+        self._verified_caps: set[tuple[int, int, int]] = set()
+        self._lives: dict[int, int] = {}
+        self._endpoint = None
+        self._booted = False
+        # Set by boot():
+        self.table: InodeTable
+        self.layout: VolumeLayout
+        self.disk_free: ExtentFreeList
+        self.cache: BulletCache
+        self.scan_report: ScanReport
+
+    # ------------------------------------------------------------- setup
+
+    def format(self) -> None:
+        """mkfs every replica (untimed; done before the server's life)."""
+        for disk in self.mirror.disks:
+            format_volume(disk, self.testbed.bullet.inode_count)
+
+    def boot(self, repair: bool = False):
+        """Process: read the inode table from the primary disk, build the
+        free lists, run the consistency checks, and start serving.
+
+        "When the file server starts up, it reads the complete inode
+        table into the RAM inode table and keeps it there permanently."
+        """
+        primary = self.mirror.primary
+        layout = VolumeLayout.for_disk(primary, self.testbed.bullet.inode_count)
+        raw = yield primary.read(0, layout.inode_table_blocks)
+        self.table = InodeTable.decode(raw, primary.block_size)
+        self.layout = layout
+        self.disk_free, self.scan_report = scan_volume(
+            self.table, layout, repair=repair, strategy=self._alloc_strategy
+        )
+        cache_bytes = (
+            self.testbed.bullet.ram_bytes - self.testbed.bullet.reserved_ram_bytes
+        )
+        self.cache = BulletCache(
+            cache_bytes,
+            rnode_count=self.testbed.bullet.rnode_count,
+            policy=self._cache_policy,
+            on_evict=self._on_evict,
+        )
+        # Every surviving file starts its aging clock afresh; orphans
+        # left by pre-crash clients die after max_lives sweeps.
+        self._lives = {
+            number: self.testbed.bullet.max_lives
+            for number, _inode in self.table.live_inodes()
+        }
+        self._booted = True
+        if self.transport is not None:
+            self._endpoint = self.transport.register(self.port)
+            self.env.process(self._serve())
+        self._trace("bullet", f"{self.name} booted", files=self.scan_report.live_files)
+        return self.scan_report
+
+    def crash(self) -> None:
+        """Stop serving and lose all volatile state (RAM cache, verified-
+        capability cache). Durable state stays on the disks."""
+        if self._endpoint is not None:
+            self._endpoint.crash()
+        self._booted = False
+        self._verified_caps.clear()
+
+    # --------------------------------------------------------- local API
+
+    def create(self, data: bytes, p_factor: Optional[int] = None):
+        """Process: BULLET.CREATE — store an immutable file, reply per the
+        paranoia factor. Returns the owner :class:`Capability`."""
+        self._require_booted()
+        cpu = self.testbed.cpu
+        yield self.env.timeout(cpu.request_dispatch)
+        if p_factor is None:
+            p_factor = self.testbed.bullet.default_p_factor
+        check_p_factor(p_factor, self.mirror)
+        size = len(data)
+        if size > self.cache.capacity:
+            raise FileTooBigError(
+                f"{size}-byte file exceeds the server's {self.cache.capacity}-byte memory"
+            )
+        blocks = self.layout.blocks_for(size)
+        start_block = self.disk_free.allocate(blocks) if blocks else 0
+        secret = self._secrets.randint(1, (1 << 48) - 1)
+        try:
+            number = self.table.allocate(secret, start_block, size)
+        except ReproError:
+            if blocks:
+                self.disk_free.free(start_block, blocks)
+            raise
+        # Copy the file into the contiguous RAM cache.
+        try:
+            rnode = self.cache.insert(number, data)
+        except ReproError:
+            self.table.release(number)
+            if blocks:
+                self.disk_free.free(start_block, blocks)
+            raise
+        self.table.get(number).index = rnode.number
+        yield self.env.timeout(size * cpu.memcpy_per_byte)
+        # Write-through: data extent then inode block, on every replica.
+        inode_block = self.table.block_of_inode(number)
+        durable = replicated_file_write(
+            self.env, self.mirror,
+            data_block=start_block if blocks else None,
+            data=bytes(data),
+            inode_block=inode_block,
+            inode_block_bytes=self.table.encode_block(inode_block),
+            p_factor=p_factor,
+        )
+        if p_factor > 0:
+            yield durable
+        self.stats.creates += 1
+        self.stats.bytes_created += size
+        self._lives[number] = self.testbed.bullet.max_lives
+        self._trace("bullet", "create", inode=number, size=size, p=p_factor)
+        return mint_owner(self.port, number, secret)
+
+    def read(self, cap: Capability):
+        """Process: BULLET.READ — returns the whole file contents."""
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        number, inode = yield from self._check(cap, RIGHT_READ)
+        rnode = self._cached_rnode(number, inode)
+        if rnode is None:
+            rnode = yield from self._load_from_disk(number, inode)
+        self.cache.touch(rnode)
+        # Copy from the contiguous cache into the network buffers.
+        yield self.env.timeout(inode.size * self.testbed.cpu.memcpy_per_byte)
+        self.stats.reads += 1
+        self.stats.bytes_read += inode.size
+        return rnode.data
+
+    def size(self, cap: Capability):
+        """Process: BULLET.SIZE — the file's size in bytes."""
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        _number, inode = yield from self._check(cap, RIGHT_READ)
+        self.stats.sizes += 1
+        return inode.size
+
+    def delete(self, cap: Capability):
+        """Process: BULLET.DELETE — discard the file.
+
+        "Deleting a file involves checking the capability, freeing an
+        inode by zeroing it and writing it back to the disk."
+        """
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        number, inode = yield from self._check(cap, RIGHT_DELETE)
+        yield from self._destroy(number, inode)
+        self.stats.deletes += 1
+        self._trace("bullet", "delete", inode=number)
+
+    def _destroy(self, number: int, inode):
+        """Free an inode and its extent, write the change through."""
+        blocks = self.layout.blocks_for(inode.size)
+        start_block = inode.start_block
+        self.cache.remove(number)
+        self.table.release(number)
+        if blocks:
+            self.disk_free.free(start_block, blocks)
+        self._forget_caps(number)
+        self._lives.pop(number, None)
+        inode_block = self.table.block_of_inode(number)
+        yield replicated_inode_write(
+            self.env, self.mirror, inode_block, self.table.encode_block(inode_block)
+        )
+
+    def modify(self, cap: Capability, offset: int, delete_bytes: int,
+               insert_data: bytes, p_factor: Optional[int] = None):
+        """Process: the §5 extension — derive a new immutable file from an
+        existing one entirely server-side, "such that for a small
+        modification it is not necessary any longer to transfer the whole
+        file". Returns the new file's owner capability; the original is
+        untouched."""
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        number, inode = yield from self._check(cap, RIGHT_READ | RIGHT_MODIFY)
+        if offset < 0 or delete_bytes < 0 or offset + delete_bytes > inode.size:
+            raise BadRequestError(
+                f"modify range [{offset}, {offset + delete_bytes}) outside "
+                f"the {inode.size}-byte file"
+            )
+        rnode = self._cached_rnode(number, inode)
+        if rnode is None:
+            rnode = yield from self._load_from_disk(number, inode)
+        self.cache.touch(rnode)
+        old = rnode.data
+        new_data = old[:offset] + insert_data + old[offset + delete_bytes:]
+        new_cap = yield from self.create(new_data, p_factor)
+        self.stats.modifies += 1
+        return new_cap
+
+    def restrict_cap(self, cap: Capability, mask: int):
+        """Process: server-side rights restriction of a verified
+        capability (any capability, unlike the client-local restrict)."""
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        number, inode = yield from self._check(cap, 0)
+        new_rights, new_check = server_restrict(cap.rights, inode.secret, mask)
+        self.stats.restricts += 1
+        return Capability(port=self.port, object=number,
+                          rights=new_rights, check=new_check)
+
+    def touch(self, cap: Capability):
+        """Process: std_touch — reset the object's lives to the maximum.
+
+        The directory service's GC daemon touches every capability it
+        can reach, so reachable files never age out.
+        """
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        number, _inode = yield from self._check(cap, 0)
+        self._lives[number] = self.testbed.bullet.max_lives
+        return self._lives[number]
+
+    def age_all(self):
+        """Process: std_age — decrement every object's lives; reclaim
+        the ones that reach zero (orphans nobody touched for max_lives
+        sweeps). Returns the reclaimed inode numbers."""
+        self._require_booted()
+        yield self.env.timeout(self.testbed.cpu.request_dispatch)
+        reclaimed = []
+        for number, _inode in list(self.table.live_inodes()):
+            lives = self._lives.get(number, self.testbed.bullet.max_lives) - 1
+            self._lives[number] = lives
+            if lives <= 0:
+                reclaimed.append(number)
+        for number in reclaimed:
+            inode = self.table.get(number)
+            yield from self._destroy(number, inode)
+            self._trace("bullet", "aged out", inode=number)
+        return reclaimed
+
+    def lives_of(self, inode_number: int) -> int:
+        """Remaining lives of a live object (for tests/monitoring)."""
+        inode = self.table.get(inode_number)
+        if inode.free:
+            raise NotFoundError(f"object {inode_number} does not exist")
+        return self._lives.get(inode_number, self.testbed.bullet.max_lives)
+
+    def evict(self, inode_number: int) -> None:
+        """Administratively drop a file from the RAM cache (keeps the
+        inode.index invariant). Benchmarks use this to measure cold
+        reads."""
+        self._require_booted()
+        self.cache.remove(inode_number)
+        inode = self.table.get(inode_number)
+        if not inode.free:
+            inode.index = 0
+
+    def status(self) -> dict:
+        """std_status: live counters and space accounting (synchronous)."""
+        self._require_booted()
+        return {
+            "name": self.name,
+            "files": self.table.live_count,
+            "free_inodes": self.table.free_count,
+            "disk_free_blocks": self.disk_free.free_units,
+            "disk_largest_hole": self.disk_free.largest_hole,
+            "disk_fragmentation": self.disk_free.external_fragmentation(),
+            "cache_used_bytes": self.cache.used_bytes,
+            "cache_free_bytes": self.cache.free_bytes,
+            "cache_hit_rate": self.cache.stats.hit_rate,
+            "replicas_live": self.mirror.replica_count,
+            **self.stats.snapshot(),
+        }
+
+    def render_layout(self) -> str:
+        """The Fig. 1 picture for the current volume state."""
+        self._require_booted()
+        return render_layout(self.table, self.disk_free)
+
+    # ----------------------------------------------------- internal paths
+
+    def _check(self, cap: Capability, needed_rights: int):
+        """Verify a capability and resolve its inode (generator).
+
+        Charges the one-way-function cost, or the cheap cached-check cost
+        for capabilities verified before ("capabilities can be cached to
+        avoid decryption for each access").
+        """
+        cpu = self.testbed.cpu
+        key = (cap.object, cap.rights, cap.check)
+        self.stats.cap_checks += 1
+        if key in self._verified_caps:
+            self.stats.cap_check_cache_hits += 1
+            yield self.env.timeout(cpu.capability_check_cached)
+        else:
+            yield self.env.timeout(cpu.capability_check)
+        if not 1 <= cap.object < len(self.table):
+            raise NotFoundError(f"object {cap.object} out of range")
+        inode = self.table.get(cap.object)
+        if inode.free:
+            raise NotFoundError(f"object {cap.object} does not exist")
+        require(cap, inode.secret, needed_rights)
+        self._verified_caps.add(key)
+        return cap.object, inode
+
+    def _cached_rnode(self, number: int, inode):
+        """The paper's cache probe: 'the index field in the inode is
+        inspected to see whether there is a copy of the file in the RAM
+        cache'."""
+        if inode.index == 0:
+            self.cache.stats.misses += 1
+            return None
+        rnode = self.cache.get_slot(inode.index)
+        assert rnode.inode_number == number, "inode.index out of sync"
+        self.cache.stats.hits += 1
+        return rnode
+
+    def _load_from_disk(self, number: int, inode):
+        """Read-miss path: reserve contiguous cache space (evicting LRU
+        files as needed), then one contiguous disk read."""
+        rnode = self.cache.reserve(number, inode.size)
+        inode.index = rnode.number
+        blocks = self.layout.blocks_for(inode.size)
+        if blocks:
+            data = yield from self.mirror.read_with_failover(
+                inode.start_block, blocks
+            )
+            self.cache.fill(rnode, data[: inode.size])
+        else:
+            self.cache.fill(rnode, b"")
+        return rnode
+
+    def _on_evict(self, inode_number: int) -> None:
+        """Cache eviction callback: clear the inode's index field."""
+        inode = self.table.get(inode_number)
+        inode.index = 0
+
+    def _forget_caps(self, number: int) -> None:
+        self._verified_caps = {
+            key for key in self._verified_caps if key[0] != number
+        }
+
+    def _require_booted(self) -> None:
+        if not self._booted:
+            raise BadRequestError(f"server {self.name} is not booted")
+
+    # ------------------------------------------------------------ RPC plane
+
+    def _serve(self):
+        """The single-threaded service loop (§3: the implementation is
+        deliberately simple; one request is handled at a time)."""
+        endpoint = self._endpoint
+        while self._booted and endpoint is self._endpoint:
+            req = yield endpoint.getreq()
+            try:
+                reply = yield from self._dispatch(req)
+            except ReproError as exc:
+                self.stats.errors += 1
+                reply = RpcTransport.reply_for_error(exc)
+            yield self.env.process(endpoint.putrep(req, reply))
+
+    def _dispatch(self, req: RpcRequest):
+        op = req.opcode
+        if op == OPCODES["CREATE"]:
+            p_factor = req.args[0] if req.args else None
+            cap = yield from self.create(req.body, p_factor)
+            return RpcReply(caps=(cap,))
+        if req.cap is None:
+            raise BadRequestError("request carries no capability")
+        if op == OPCODES["READ"]:
+            data = yield from self.read(req.cap)
+            return RpcReply(body=data)
+        if op == OPCODES["SIZE"]:
+            size = yield from self.size(req.cap)
+            return RpcReply(args=(size,))
+        if op == OPCODES["DELETE"]:
+            yield from self.delete(req.cap)
+            return RpcReply()
+        if op == OPCODES["MODIFY"]:
+            offset, delete_bytes, p_factor = req.args
+            cap = yield from self.modify(req.cap, offset, delete_bytes,
+                                         req.body, p_factor)
+            return RpcReply(caps=(cap,))
+        if op == OPCODES["STAT"]:
+            _n, _inode = yield from self._check(req.cap, 0)
+            status = self.status()
+            return RpcReply(args=(status,))
+        if op == OPCODES["RESTRICT"]:
+            mask = req.args[0]
+            cap = yield from self.restrict_cap(req.cap, mask)
+            return RpcReply(caps=(cap,))
+        raise BadRequestError(f"unknown opcode {op}")
+
+    def _trace(self, category: str, message: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(category, message, **fields)

@@ -1,0 +1,37 @@
+"""Operation statistics for the Bullet server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServerStats:
+    """Counters the server maintains for std_status-style reporting."""
+
+    creates: int = 0
+    reads: int = 0
+    sizes: int = 0
+    deletes: int = 0
+    modifies: int = 0
+    restricts: int = 0
+    errors: int = 0
+    bytes_created: int = 0
+    bytes_read: int = 0
+    cap_checks: int = 0
+    cap_check_cache_hits: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "creates": self.creates,
+            "reads": self.reads,
+            "sizes": self.sizes,
+            "deletes": self.deletes,
+            "modifies": self.modifies,
+            "restricts": self.restricts,
+            "errors": self.errors,
+            "bytes_created": self.bytes_created,
+            "bytes_read": self.bytes_read,
+            "cap_checks": self.cap_checks,
+            "cap_check_cache_hits": self.cap_check_cache_hits,
+        }

@@ -1,0 +1,13 @@
+"""Directory service (S8): naming, protection, and version management
+for Bullet files and other capability-addressed objects."""
+
+from .records import DirectoryRows, SlotRecord, SLOT_RECORD_SIZE
+from .server import DIR_OPCODES, DirectoryServer
+
+__all__ = [
+    "DirectoryRows",
+    "SlotRecord",
+    "SLOT_RECORD_SIZE",
+    "DIR_OPCODES",
+    "DirectoryServer",
+]

@@ -1,0 +1,99 @@
+"""Disk geometry and the seek/rotation/transfer timing model.
+
+The timing model is what makes the paper's architectural argument
+visible: a *contiguous* file costs one seek + one rotational latency +
+streaming transfer, while a *scattered* file costs a seek + rotation per
+block. Everything here is purely arithmetic; the queueing happens in
+:mod:`repro.disk.vdisk`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..profiles import DiskProfile
+
+__all__ = ["DiskGeometry"]
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Geometry calculations for one :class:`~repro.profiles.DiskProfile`."""
+
+    profile: DiskProfile
+
+    @property
+    def block_size(self) -> int:
+        return self.profile.block_size
+
+    @property
+    def total_blocks(self) -> int:
+        return self.profile.total_blocks
+
+    def cylinder_of(self, block: int) -> int:
+        """Which cylinder a logical block lives on."""
+        self._check_block(block)
+        return block // self.profile.blocks_per_cylinder
+
+    def seek_time(self, from_cyl: int, to_cyl: int) -> float:
+        """Arm movement time between cylinders.
+
+        Square-root profile (constant-acceleration arm): settle time plus
+        a component proportional to sqrt(distance), scaled so a full
+        stroke costs ``seek_full_stroke``.
+        """
+        if from_cyl == to_cyl:
+            return 0.0
+        distance = abs(to_cyl - from_cyl)
+        p = self.profile
+        span = math.sqrt(max(p.cylinders - 1, 1))
+        return p.seek_settle + (p.seek_full_stroke - p.seek_settle) * (
+            math.sqrt(distance) / span
+        )
+
+    @property
+    def avg_rotational_latency(self) -> float:
+        return self.profile.avg_rotational_latency
+
+    def transfer_time(self, nblocks: int) -> float:
+        """Media transfer time for ``nblocks`` consecutive blocks."""
+        if nblocks < 0:
+            raise ValueError(f"negative block count {nblocks}")
+        return (nblocks * self.block_size) / self.profile.transfer_rate
+
+    def access_time(self, current_cyl: int, start_block: int, nblocks: int) -> float:
+        """Total time for one contiguous access starting at ``start_block``.
+
+        One seek from the arm's current cylinder, the average rotational
+        latency, then streaming transfer. Cylinder crossings mid-transfer
+        cost one extra track-to-track seek (the settle time) each.
+        """
+        self._check_extent(start_block, nblocks)
+        if nblocks == 0:
+            return 0.0
+        first_cyl = self.cylinder_of(start_block)
+        last_cyl = self.cylinder_of(start_block + nblocks - 1)
+        crossings = last_cyl - first_cyl
+        return (
+            self.seek_time(current_cyl, first_cyl)
+            + self.avg_rotational_latency
+            + self.transfer_time(nblocks)
+            + crossings * self.profile.seek_settle
+        )
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.total_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.total_blocks})"
+            )
+
+    def _check_extent(self, start_block: int, nblocks: int) -> None:
+        if nblocks < 0:
+            raise ValueError(f"negative block count {nblocks}")
+        self._check_block(start_block)
+        if nblocks and start_block + nblocks > self.total_blocks:
+            raise ValueError(
+                f"extent [{start_block}, {start_block + nblocks}) exceeds disk "
+                f"size {self.total_blocks}"
+            )

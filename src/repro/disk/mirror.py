@@ -1,0 +1,150 @@
+"""Mirrored disk sets (§3 of the paper).
+
+"In our hardware configuration we have two disks that we use as
+identical replicas. One of the disks is the main disk on which the file
+server reads. Disk writes are performed on both disks. If the main disk
+fails, the file server can proceed uninterruptedly by using the other
+disk. Recovery is simply done by copying the complete disk."
+
+:class:`MirroredDiskSet` implements exactly that: reads go to the
+current primary (with automatic failover), writes fan out to every live
+replica, and the caller chooses how many completed replicas to wait for
+— which is the mechanism behind the P-FACTOR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import DiskIOError, ServerDownError
+from ..sim import CountOf, Environment, Event, Tracer
+from .vdisk import VirtualDisk
+
+__all__ = ["MirroredDiskSet"]
+
+
+class MirroredDiskSet:
+    """A set of identical disk replicas with one read primary."""
+
+    def __init__(self, env: Environment, disks: Sequence[VirtualDisk],
+                 tracer: Optional[Tracer] = None):
+        if not disks:
+            raise ValueError("a mirrored set needs at least one disk")
+        self.env = env
+        self.disks = list(disks)
+        self._tracer = tracer
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def primary(self) -> VirtualDisk:
+        """The disk reads are served from: the first live replica.
+
+        Raises :class:`ServerDownError` when every replica is dead —
+        the server as a whole is then down.
+        """
+        for disk in self.disks:
+            if not disk.failed:
+                return disk
+        raise ServerDownError("all disk replicas have failed")
+
+    @property
+    def live_disks(self) -> list[VirtualDisk]:
+        return [d for d in self.disks if not d.failed]
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas able to take a write right now."""
+        return len(self.live_disks)
+
+    @property
+    def block_size(self) -> int:
+        return self.disks[0].block_size
+
+    @property
+    def total_blocks(self) -> int:
+        return min(d.total_blocks for d in self.disks)
+
+    # -------------------------------------------------------------- I/O
+
+    def read(self, start_block: int, nblocks: int) -> Event:
+        """Timed read from the primary replica."""
+        return self.primary.read(start_block, nblocks)
+
+    def read_with_failover(self, start_block: int, nblocks: int):
+        """A *process* (yield ``env.process(...)``) that reads from the
+        primary and transparently retries on the next replica if the
+        primary dies mid-operation — the paper's "proceed uninterruptedly".
+        """
+        while True:
+            disk = self.primary  # raises ServerDownError when none left
+            try:
+                data = yield disk.read(start_block, nblocks)
+                return data
+            except DiskIOError:
+                self._trace("mirror", f"failover away from {disk.name}")
+                continue
+
+    def write(self, start_block: int, data: bytes, need: Optional[int] = None) -> Event:
+        """Write ``data`` to every live replica.
+
+        The returned event fires once ``need`` replicas have the data
+        durably (default: all live replicas). ``need=0`` fires
+        immediately — the P-FACTOR 0 case where the reply precedes
+        durability. Writes to the remaining replicas continue in the
+        background either way.
+        """
+        live = self.live_disks
+        if not live:
+            failed = Event(self.env)
+            failed.fail(ServerDownError("all disk replicas have failed"))
+            return failed
+        if need is None:
+            need = len(live)
+        need = min(need, len(live))
+        writes = [disk.write(start_block, data) for disk in live]
+        return CountOf(self.env, writes, need=need)
+
+    # --------------------------------------------------------- raw plane
+
+    def write_raw(self, start_block: int, data: bytes) -> None:
+        """Instant, cost-free write to every replica (setup plane)."""
+        for disk in self.disks:
+            disk.write_raw(start_block, data)
+
+    def read_raw(self, start_block: int, nblocks: int) -> bytes:
+        """Instant, cost-free read from the primary (setup plane)."""
+        return self.primary.read_raw(start_block, nblocks)
+
+    # --------------------------------------------------------- recovery
+
+    def recover(self, target: VirtualDisk):
+        """A process performing whole-disk recovery onto ``target``:
+        repair it, then copy every block from the primary, charging the
+        full sequential read+write time of both arms.
+
+        The paper: "Recovery is simply done by copying the complete
+        disk." The copy streams in large extents so it runs at media
+        rate rather than per-block cost.
+        """
+        source = self.primary
+        if target is source:
+            raise ValueError("cannot recover a disk from itself")
+        target.repair()
+        total = min(source.total_blocks, target.total_blocks)
+        extent = 2048  # blocks per copy chunk (1 MB at 512-byte blocks)
+        copied = 0
+        while copied < total:
+            n = min(extent, total - copied)
+            data = yield source.read(copied, n)
+            yield target.write(copied, data)
+            copied += n
+        if target not in self.disks:
+            self.disks.append(target)
+        self._trace("mirror", f"recovery onto {target.name} complete",
+                    blocks=total)
+        return total
+
+    def _trace(self, category: str, message: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(category, message, **fields)

@@ -1,0 +1,87 @@
+"""Disk request scheduling disciplines.
+
+The paper's server is single-threaded per disk, so a queue discipline
+only matters under concurrent load (the scalability experiments). Two
+classic disciplines are provided:
+
+* :class:`FcfsQueue` — first come, first served.
+* :class:`ElevatorQueue` — SCAN: serve requests in cylinder order,
+  sweeping up then down, which bounds seek work under load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Protocol
+
+__all__ = ["FcfsQueue", "ElevatorQueue", "make_queue"]
+
+
+class _Schedulable(Protocol):
+    cylinder: int
+
+
+class FcfsQueue:
+    """First-come-first-served request queue."""
+
+    def __init__(self):
+        self._queue: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, request: _Schedulable) -> None:
+        self._queue.append(request)
+
+    def pop(self, current_cylinder: int) -> Optional[_Schedulable]:
+        """Next request; ``current_cylinder`` is ignored for FCFS."""
+        return self._queue.popleft() if self._queue else None
+
+
+class ElevatorQueue:
+    """SCAN (elevator) scheduling.
+
+    Requests are served in cylinder order in the current sweep
+    direction; when no request remains ahead of the arm, the direction
+    reverses. Ties (same cylinder) are FIFO via an insertion counter.
+    """
+
+    def __init__(self):
+        self._pending: list = []
+        self._counter = 0
+        self._direction = 1  # +1 sweeping to higher cylinders
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: _Schedulable) -> None:
+        self._counter += 1
+        self._pending.append((request.cylinder, self._counter, request))
+
+    def pop(self, current_cylinder: int) -> Optional[_Schedulable]:
+        if not self._pending:
+            return None
+        chosen = self._best_ahead(current_cylinder)
+        if chosen is None:
+            self._direction = -self._direction
+            chosen = self._best_ahead(current_cylinder)
+        assert chosen is not None  # some request always exists here
+        self._pending.remove(chosen)
+        return chosen[2]
+
+    def _best_ahead(self, current_cylinder: int):
+        """Closest request at or beyond the arm in the sweep direction."""
+        if self._direction > 0:
+            ahead = [r for r in self._pending if r[0] >= current_cylinder]
+            return min(ahead, key=lambda r: (r[0], r[1])) if ahead else None
+        ahead = [r for r in self._pending if r[0] <= current_cylinder]
+        return max(ahead, key=lambda r: (r[0], -r[1])) if ahead else None
+
+
+def make_queue(discipline: str):
+    """Factory: ``"fcfs"`` or ``"elevator"``."""
+    if discipline == "fcfs":
+        return FcfsQueue()
+    if discipline == "elevator":
+        return ElevatorQueue()
+    raise ValueError(f"unknown disk scheduling discipline {discipline!r}")

@@ -1,0 +1,235 @@
+"""The virtual disk: a block device with realistic timing.
+
+Functionally it is a sparse block store (only written blocks consume
+host memory). Temporally it is a single arm served by a scheduling
+discipline: each access costs seek + rotation + transfer according to
+:class:`~repro.disk.geometry.DiskGeometry`, and concurrent requests
+queue.
+
+Two access planes:
+
+* **Timed** — :meth:`read` / :meth:`write` return events; yield them
+  from a simulation process. This is what servers use.
+* **Raw** — :meth:`read_raw` / :meth:`write_raw` move data instantly
+  with no simulated cost. Used for formatting (mkfs), test setup, and
+  whole-disk recovery copies whose time is charged explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DiskIOError
+from ..profiles import DiskProfile
+from ..sim import Environment, Event, Store, Tracer
+from .geometry import DiskGeometry
+from .scheduler import make_queue
+
+__all__ = ["VirtualDisk", "DiskStats"]
+
+
+@dataclass
+class DiskStats:
+    """Operation counters for one disk."""
+
+    reads: int = 0
+    writes: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    busy_time: float = 0.0
+    seeks: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "blocks_read": self.blocks_read,
+            "blocks_written": self.blocks_written,
+            "busy_time": self.busy_time,
+            "seeks": self.seeks,
+        }
+
+
+@dataclass
+class _DiskRequest:
+    kind: str                     # "read" or "write"
+    start_block: int
+    nblocks: int
+    data: Optional[bytes]
+    completion: Event
+    cylinder: int = 0
+
+
+class VirtualDisk:
+    """One simulated disk drive."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: DiskProfile,
+        name: str = "disk0",
+        discipline: str = "fcfs",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.profile = profile
+        self.name = name
+        self.geometry = DiskGeometry(profile)
+        self.stats = DiskStats()
+        self._tracer = tracer
+        self._blocks: dict[int, bytes] = {}
+        self._queue = make_queue(discipline)
+        self._wakeups: Store = Store(env)
+        self._current_cylinder = 0
+        self._failed = False
+        self._server = env.process(self._serve())
+
+    # ------------------------------------------------------------ state
+
+    @property
+    def block_size(self) -> int:
+        return self.profile.block_size
+
+    @property
+    def total_blocks(self) -> int:
+        return self.geometry.total_blocks
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def fail(self, reason: str = "injected fault") -> None:
+        """Mark the disk dead. Pending and future requests fail with
+        :class:`DiskIOError`."""
+        if self._failed:
+            return
+        self._failed = True
+        self._trace("fault", f"{self.name} failed: {reason}")
+        # Drain the queue, failing every pending request.
+        while True:
+            req = self._queue.pop(self._current_cylinder)
+            if req is None:
+                break
+            req.completion.fail(DiskIOError(f"{self.name} is dead ({reason})"))
+
+    def repair(self) -> None:
+        """Bring a failed disk back (blank state is preserved as-is;
+        callers decide whether a recovery copy is needed)."""
+        if not self._failed:
+            return
+        self._failed = False
+        self._trace("fault", f"{self.name} repaired")
+
+    # ------------------------------------------------------- timed plane
+
+    def read(self, start_block: int, nblocks: int) -> Event:
+        """Timed read of ``nblocks`` consecutive blocks; the returned
+        event fires with the bytes."""
+        return self._submit("read", start_block, nblocks, None)
+
+    def write(self, start_block: int, data: bytes) -> Event:
+        """Timed write of ``data`` (padded to whole blocks) starting at
+        ``start_block``; the event fires with None when durable."""
+        if not data:
+            raise ValueError("write of zero bytes")
+        nblocks = self._blocks_for(len(data))
+        return self._submit("write", start_block, nblocks, bytes(data))
+
+    def _submit(self, kind: str, start_block: int, nblocks: int,
+                data: Optional[bytes]) -> Event:
+        completion = Event(self.env)
+        if self._failed:
+            completion.fail(DiskIOError(f"{self.name} is dead"))
+            return completion
+        self.geometry._check_extent(start_block, nblocks)
+        req = _DiskRequest(
+            kind=kind,
+            start_block=start_block,
+            nblocks=nblocks,
+            data=data,
+            completion=completion,
+            cylinder=self.geometry.cylinder_of(start_block),
+        )
+        self._queue.push(req)
+        self._wakeups.put(None)
+        return completion
+
+    def _serve(self):
+        """The arm: one request at a time, in scheduler order."""
+        while True:
+            yield self._wakeups.get()
+            req = self._queue.pop(self._current_cylinder)
+            if req is None:
+                continue  # request was drained by fail()
+            duration = self.geometry.access_time(
+                self._current_cylinder, req.start_block, req.nblocks
+            )
+            yield self.env.timeout(duration)
+            if self.geometry.cylinder_of(req.start_block) != self._current_cylinder:
+                self.stats.seeks += 1
+            self._current_cylinder = self.geometry.cylinder_of(
+                req.start_block + max(req.nblocks - 1, 0)
+            )
+            self.stats.busy_time += duration
+            if self._failed:
+                if not req.completion.triggered:
+                    req.completion.fail(
+                        DiskIOError(f"{self.name} died mid-operation")
+                    )
+                continue
+            if req.kind == "read":
+                payload = self.read_raw(req.start_block, req.nblocks)
+                self.stats.reads += 1
+                self.stats.blocks_read += req.nblocks
+                self._trace("disk", f"{self.name} read",
+                            block=req.start_block, n=req.nblocks)
+                req.completion.succeed(payload)
+            else:
+                assert req.data is not None
+                self.write_raw(req.start_block, req.data)
+                self.stats.writes += 1
+                self.stats.blocks_written += req.nblocks
+                self._trace("disk", f"{self.name} write",
+                            block=req.start_block, n=req.nblocks)
+                req.completion.succeed(None)
+
+    # --------------------------------------------------------- raw plane
+
+    def read_raw(self, start_block: int, nblocks: int) -> bytes:
+        """Instant, cost-free read (setup/recovery plane)."""
+        self.geometry._check_extent(start_block, nblocks)
+        bs = self.block_size
+        empty = bytes(bs)
+        return b"".join(
+            self._blocks.get(start_block + i, empty) for i in range(nblocks)
+        )
+
+    def write_raw(self, start_block: int, data: bytes) -> None:
+        """Instant, cost-free write (setup/recovery plane)."""
+        nblocks = self._blocks_for(len(data))
+        self.geometry._check_extent(start_block, nblocks)
+        bs = self.block_size
+        for i in range(nblocks):
+            chunk = data[i * bs:(i + 1) * bs]
+            if len(chunk) < bs:
+                chunk = chunk + bytes(bs - len(chunk))
+            self._blocks[start_block + i] = bytes(chunk)
+
+    def used_host_bytes(self) -> int:
+        """Host memory consumed by the sparse store (for tests)."""
+        return len(self._blocks) * self.block_size
+
+    # ------------------------------------------------------------ helpers
+
+    def _blocks_for(self, nbytes: int) -> int:
+        bs = self.block_size
+        return (nbytes + bs - 1) // bs
+
+    def _trace(self, category: str, message: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(category, message, **fields)

@@ -1,0 +1,145 @@
+"""Exception hierarchy and Amoeba-style status codes.
+
+Amoeba RPCs return small integer status codes; the Python API raises
+exceptions instead, but every exception carries the status code it would
+have produced on the wire so that the RPC layer can marshal errors across
+the simulated network and reconstruct the right exception on the client
+side (see :func:`error_for_status`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.IntEnum):
+    """Wire-level status codes, loosely modeled on Amoeba's std errors."""
+
+    OK = 0
+    CAP_BAD = 1          # capability failed the check-field verification
+    NO_RIGHTS = 2        # capability valid but lacks the required right
+    NOT_FOUND = 3        # object number does not name a live object
+    NO_SPACE = 4         # disk or cache exhausted
+    BAD_REQUEST = 5      # malformed request
+    TOO_BIG = 6          # file does not fit in server memory
+    SERVER_DOWN = 7      # server unreachable / crashed
+    TIMEOUT = 8          # RPC transaction timed out
+    IO_ERROR = 9         # unrecoverable disk error
+    EXISTS = 10          # name already bound (directory service)
+    NOT_EMPTY = 11       # directory not empty
+    NOT_A_DIRECTORY = 12
+    INCONSISTENT = 13    # on-disk state failed a consistency check
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+    status: Status = Status.BAD_REQUEST
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class CapabilityError(ReproError):
+    """The presented capability failed cryptographic verification."""
+
+    status = Status.CAP_BAD
+
+
+class RightsError(ReproError):
+    """The capability verified but does not grant the required rights."""
+
+    status = Status.NO_RIGHTS
+
+
+class NotFoundError(ReproError):
+    """No live object with this object number (or name)."""
+
+    status = Status.NOT_FOUND
+
+
+class NoSpaceError(ReproError):
+    """Allocation failed: disk area, inode table, or RAM cache exhausted."""
+
+    status = Status.NO_SPACE
+
+
+class BadRequestError(ReproError):
+    """Request malformed or arguments out of range."""
+
+    status = Status.BAD_REQUEST
+
+
+class FileTooBigError(ReproError):
+    """The file cannot be held contiguously in the server's memory."""
+
+    status = Status.TOO_BIG
+
+
+class ServerDownError(ReproError):
+    """The server (or its last disk) is down."""
+
+    status = Status.SERVER_DOWN
+
+
+class RpcTimeoutError(ReproError):
+    """The RPC transaction exceeded its timeout."""
+
+    status = Status.TIMEOUT
+
+
+class DiskIOError(ReproError):
+    """The disk reported an unrecoverable error."""
+
+    status = Status.IO_ERROR
+
+
+class ExistsError(ReproError):
+    """Directory entry already exists."""
+
+    status = Status.EXISTS
+
+
+class NotEmptyError(ReproError):
+    """Directory is not empty."""
+
+    status = Status.NOT_EMPTY
+
+
+class NotADirectoryError_(ReproError):
+    """The capability does not name a directory object."""
+
+    status = Status.NOT_A_DIRECTORY
+
+
+class ConsistencyError(ReproError):
+    """Startup scan found inconsistent on-disk state (e.g. overlapping
+    files), or an internal invariant was violated."""
+
+    status = Status.INCONSISTENT
+
+
+_STATUS_TO_ERROR: dict[Status, type[ReproError]] = {
+    Status.CAP_BAD: CapabilityError,
+    Status.NO_RIGHTS: RightsError,
+    Status.NOT_FOUND: NotFoundError,
+    Status.NO_SPACE: NoSpaceError,
+    Status.BAD_REQUEST: BadRequestError,
+    Status.TOO_BIG: FileTooBigError,
+    Status.SERVER_DOWN: ServerDownError,
+    Status.TIMEOUT: RpcTimeoutError,
+    Status.IO_ERROR: DiskIOError,
+    Status.EXISTS: ExistsError,
+    Status.NOT_EMPTY: NotEmptyError,
+    Status.NOT_A_DIRECTORY: NotADirectoryError_,
+    Status.INCONSISTENT: ConsistencyError,
+}
+
+
+def error_for_status(status: int, message: str = "") -> ReproError:
+    """Reconstruct the exception matching a wire-level status code.
+
+    Used by RPC client stubs to re-raise server-side failures locally.
+    """
+    cls = _STATUS_TO_ERROR.get(Status(status), ReproError)
+    return cls(message)

@@ -1,0 +1,6 @@
+"""Log server (S10): append-optimized storage for the workload the
+immutable whole-file model handles badly."""
+
+from .server import LOG_OPCODES, LogServer
+
+__all__ = ["LOG_OPCODES", "LogServer"]

@@ -1,0 +1,150 @@
+"""The shared 10 Mb/s Ethernet segment.
+
+One transmission occupies the medium at a time. A message larger than
+the MTU is fragmented into packets; each packet costs host software
+overhead (driver/protocol, charged *outside* the medium so other hosts
+can interleave) plus wire occupancy (charged *inside* the medium).
+
+"Measurements have been done on a normally loaded Ethernet" (§4): the
+optional background-traffic process occupies the medium with seeded,
+exponential-inter-arrival packets at the profile's utilization, so
+foreground transfers experience realistic queueing jitter — long bursts
+(1 MB transfers) queue behind more background packets than short ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..profiles import EthernetProfile
+from ..sim import Environment, Resource, SeededStream, Tracer
+
+__all__ = ["Ethernet", "EthernetStats"]
+
+
+@dataclass
+class EthernetStats:
+    """Traffic counters for the segment."""
+
+    packets: int = 0
+    payload_bytes: int = 0
+    wire_time: float = 0.0
+    background_packets: int = 0
+    lost_packets: int = 0
+
+
+class Ethernet:
+    """A single shared Ethernet segment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: EthernetProfile,
+        stream: Optional[SeededStream] = None,
+        background_load: bool = False,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.env = env
+        self.profile = profile
+        self.stats = EthernetStats()
+        self._medium = Resource(env, capacity=1)
+        self._tracer = tracer
+        self._stream = stream
+        if profile.loss_probability > 0 and stream is None:
+            raise ValueError("packet loss requires a seeded stream")
+        if background_load:
+            if stream is None:
+                raise ValueError("background load requires a seeded stream")
+            env.process(self._background_traffic())
+
+    @property
+    def lossy(self) -> bool:
+        return self.profile.loss_probability > 0
+
+    def packets_for(self, nbytes: int) -> int:
+        """How many packets a message of ``nbytes`` fragments into."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if nbytes == 0:
+            return 1  # a header-only packet still crosses the wire
+        payload = self.profile.max_payload
+        return (nbytes + payload - 1) // payload
+
+    def message_cost_lower_bound(self, nbytes: int) -> float:
+        """Uncontended time to move an ``nbytes`` message (for tests and
+        back-of-envelope checks)."""
+        packets = self.packets_for(nbytes)
+        payload = self.profile.max_payload
+        total = packets * self.profile.per_packet_overhead
+        remaining = nbytes
+        for _ in range(packets):
+            chunk = min(remaining, payload) if nbytes else 0
+            total += self.profile.wire_time(chunk)
+            remaining -= chunk
+        return total
+
+    def send_message(self, nbytes: int):
+        """A process moving an ``nbytes`` message across the segment.
+
+        Yields until the last packet has left the wire. Returns True
+        when the whole message arrived; False when any fragment was lost
+        (the RPC layer recovers by selective retransmission). The sender
+        pays full cost either way.
+        """
+        lost = yield from self.send_fragments(nbytes)
+        return not lost
+
+    def send_fragments(self, nbytes: int, indices=None):
+        """A process sending (a subset of) a message's fragments.
+
+        ``indices`` selects which fragments of the ``nbytes`` message to
+        transmit (None = all). Returns the list of fragment indices that
+        were lost on the wire — the retransmission set. Receivers keep
+        fragments, so a message is complete once every index has arrived
+        (Amoeba's FLIP did fragment-level recovery the same way).
+        """
+        payload = self.profile.max_payload
+        total = self.packets_for(nbytes)
+        if indices is None:
+            indices = range(total)
+        lost = []
+        for index in indices:
+            if index == total - 1:
+                chunk = nbytes - payload * (total - 1) if nbytes else 0
+            else:
+                chunk = payload
+            # Host-side packet preparation: does not occupy the medium.
+            yield self.env.timeout(self.profile.per_packet_overhead)
+            grant = self._medium.request()
+            yield grant
+            wire = self.profile.wire_time(chunk)
+            yield self.env.timeout(wire)
+            self._medium.release(grant)
+            self.stats.packets += 1
+            self.stats.payload_bytes += chunk
+            self.stats.wire_time += wire
+            if self.lossy and self._stream.random() < self.profile.loss_probability:
+                self.stats.lost_packets += 1
+                lost.append(index)
+        return lost
+
+    @property
+    def medium_queue_length(self) -> int:
+        return self._medium.queue_length
+
+    def _background_traffic(self):
+        """Seeded background packets at the profile's mean utilization."""
+        p = self.profile
+        if p.background_utilization <= 0:
+            return
+        wire = p.wire_time(p.background_packet_bytes)
+        rate = p.background_utilization / wire  # packets per second
+        while True:
+            yield self.env.timeout(self._stream.expovariate(rate))
+            grant = self._medium.request()
+            yield grant
+            yield self.env.timeout(wire)
+            self._medium.release(grant)
+            self.stats.background_packets += 1
+            self.stats.wire_time += wire

@@ -1,0 +1,336 @@
+"""Amoeba-style RPC over the simulated Ethernet (substrate S6).
+
+Amoeba's kernel primitives were ``trans`` (client: send request, await
+reply), ``getreq`` (server: await a request on a port), and ``putrep``
+(server: send the reply). We reproduce that trio:
+
+* Servers :meth:`~RpcTransport.register` a 48-bit port and loop on
+  ``yield endpoint.getreq()`` / ``yield env.process(endpoint.putrep(...))``.
+* Clients call ``yield env.process(rpc.trans(port, request))``.
+
+Messages carry real Python payloads (capabilities, bytes) for
+functionality, and a computed **wire size** for timing; the Ethernet
+charges fragmentation, per-packet overhead and medium contention.
+
+Error model: server handlers either return a reply or raise a
+:class:`~repro.errors.ReproError`; the transport marshals the status
+code, and the client stub re-raises the matching exception — exactly
+how Amoeba's std error codes travelled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..capability import CAP_WIRE_SIZE, Capability
+from ..errors import ReproError, RpcTimeoutError, ServerDownError, Status, error_for_status
+from ..profiles import CpuProfile
+from ..sim import AnyOf, Environment, Event, Store, Tracer
+
+__all__ = ["RpcRequest", "RpcReply", "RpcTransport", "ServiceEndpoint"]
+
+#: Fixed bytes of an RPC header on the wire (transaction id, port,
+#: opcode, sizes) — mirrors Amoeba's header block.
+HEADER_WIRE_SIZE = 32
+
+
+@dataclass
+class RpcRequest:
+    """A request as seen by a server."""
+
+    opcode: int
+    cap: Optional[Capability] = None
+    args: tuple = ()
+    body: bytes = b""
+    # Filled by the transport:
+    reply_event: Optional[Event] = None
+    txid: Optional[int] = None  # transaction id for duplicate suppression
+    reply_missing: Optional[list] = None  # reply fragments still missing
+
+    @property
+    def wire_size(self) -> int:
+        size = HEADER_WIRE_SIZE + len(self.body) + 8 * len(self.args)
+        if self.cap is not None:
+            size += CAP_WIRE_SIZE
+        return size
+
+
+@dataclass
+class RpcReply:
+    """A reply as seen by a client."""
+
+    status: int = int(Status.OK)
+    args: tuple = ()
+    body: bytes = b""
+    caps: tuple = ()
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == Status.OK
+
+    @property
+    def wire_size(self) -> int:
+        return (
+            HEADER_WIRE_SIZE
+            + len(self.body)
+            + 8 * len(self.args)
+            + CAP_WIRE_SIZE * len(self.caps)
+        )
+
+
+class ServiceEndpoint:
+    """A registered server port: an inbox of pending requests, plus the
+    at-most-once bookkeeping (in-progress transaction ids and a bounded
+    cache of recent replies for duplicate-request resends)."""
+
+    REPLY_CACHE_SIZE = 256
+
+    def __init__(self, transport: "RpcTransport", port: int):
+        self.transport = transport
+        self.port = port
+        self.inbox: Store = Store(transport.env)
+        self.down = False
+        self.in_progress: set[int] = set()
+        self.replying: set[int] = set()  # replies currently on the wire
+        self.reply_cache: "OrderedDict[int, RpcReply]" = OrderedDict()
+
+    def getreq(self) -> Event:
+        """Event firing with the next :class:`RpcRequest`."""
+        return self.inbox.get()
+
+    def putrep(self, request: RpcRequest, reply: RpcReply):
+        """A process transmitting ``reply`` for ``request``.
+
+        The server blocks until the reply has left the wire (the Bullet
+        server is single-threaded, §3), then the client's trans fires.
+        The reply is cached against the transaction id so a duplicate
+        (retransmitted) request is answered without re-executing — the
+        at-most-once half of Amoeba's RPC semantics.
+        """
+        if request.txid is not None:
+            self.in_progress.discard(request.txid)
+            self.reply_cache[request.txid] = reply
+            while len(self.reply_cache) > self.REPLY_CACHE_SIZE:
+                self.reply_cache.popitem(last=False)
+            self.replying.add(request.txid)
+        lost = yield self.transport.env.process(
+            self.transport.ethernet.send_fragments(reply.wire_size)
+        )
+        if request.txid is not None:
+            self.replying.discard(request.txid)
+        assert request.reply_event is not None
+        request.reply_missing = lost or None
+        if not lost and not request.reply_event.triggered:
+            request.reply_event.succeed(reply)
+
+    def crash(self) -> None:
+        """Take the service down; pending and future requests fail."""
+        self.down = True
+        self.in_progress.clear()
+        self.replying.clear()
+        self.reply_cache.clear()
+        while True:
+            pending = self.inbox.try_get()
+            if pending is None:
+                break
+            if not pending.reply_event.triggered:
+                pending.reply_event.fail(
+                    ServerDownError(f"port {self.port:#x} crashed")
+                )
+
+    def restart(self) -> None:
+        """Bring a crashed endpoint back into service."""
+        self.down = False
+
+
+class RpcTransport:
+    """The port registry plus client-side ``trans``."""
+
+    def __init__(self, env: Environment, ethernet, cpu: CpuProfile,
+                 tracer: Optional[Tracer] = None):
+        self.env = env
+        self.ethernet = ethernet
+        self.cpu = cpu
+        self._ports: dict[int, ServiceEndpoint] = {}
+        self._routes: list = []
+        self._tracer = tracer
+        self._txid = 0
+        #: Retransmission policy (only exercised on lossy networks or
+        #: when a call sets a timeout): resend after this interval, give
+        #: up after max_retransmits sends.
+        self.retransmit_interval = 0.5
+        self.max_retransmits = 10
+        self.stats_retransmits = 0
+
+    def add_route(self, gateway) -> None:
+        """Install a gateway consulted for ports not served locally
+        (see :mod:`repro.net.gateway`)."""
+        self._routes.append(gateway)
+
+    def register(self, port: int) -> ServiceEndpoint:
+        """Claim ``port`` for a server; returns its endpoint."""
+        if port in self._ports and not self._ports[port].down:
+            raise ValueError(f"port {port:#x} already registered")
+        endpoint = ServiceEndpoint(self, port)
+        self._ports[port] = endpoint
+        return endpoint
+
+    def lookup(self, port: int) -> Optional[ServiceEndpoint]:
+        """The endpoint registered on ``port``, if any (locate step)."""
+        return self._ports.get(port)
+
+    def trans(self, port: int, request: RpcRequest,
+              timeout: Optional[float] = None):
+        """A process performing one transaction: send ``request`` to
+        ``port``, await the reply. Returns the :class:`RpcReply`.
+
+        Raises :class:`ServerDownError` for unknown/crashed ports (after
+        the locate timeout), :class:`RpcTimeoutError` when ``timeout``
+        expires, and re-raises marshalled server errors.
+        """
+        endpoint = self._ports.get(port)
+        if endpoint is None or endpoint.down:
+            # Not served at this site: try the wide-area gateways
+            # ("Gateways provide transparent communication among Amoeba
+            # sites", §2.1).
+            for gateway in self._routes:
+                if gateway.serves(port):
+                    yield self.env.timeout(
+                        len(request.body) * self.cpu.memcpy_per_byte
+                    )
+                    yield self.env.process(
+                        self.ethernet.send_message(request.wire_size)
+                    )
+                    reply = yield self.env.process(
+                        gateway.forward(port, request, timeout)
+                    )
+                    yield self.env.timeout(
+                        len(reply.body) * self.cpu.memcpy_per_byte
+                    )
+                    self._trace("rpc", "trans forwarded", port=port,
+                                opcode=request.opcode, via=gateway.name)
+                    return reply
+            # Port locate fails after a retry interval.
+            yield self.env.timeout(timeout if timeout is not None else 1.0)
+            raise ServerDownError(f"no server listening on port {port:#x}")
+        # Marshal, then transmit with retransmission: at-least-once on
+        # the wire, exactly-once at the server (duplicate suppression in
+        # the endpoint).
+        yield self.env.timeout(len(request.body) * self.cpu.memcpy_per_byte)
+        request.reply_event = Event(self.env)
+        self._txid += 1
+        request.txid = self._txid
+        deadline = self.env.now + timeout if timeout is not None else None
+        attempts = 0
+        missing = None           # fragment indices still to deliver
+        request_delivered = False
+        while True:
+            if not request_delivered:
+                lost = yield self.env.process(
+                    self.ethernet.send_fragments(request.wire_size, missing)
+                )
+                if lost:
+                    missing = lost  # selective retransmission next round
+                else:
+                    request_delivered = True
+                    missing = None
+                    self._deliver(endpoint, request)
+            else:
+                # The request is complete server-side; we are chasing a
+                # lost reply. A header-only probe makes the endpoint
+                # resend its cached reply.
+                probe_lost = yield self.env.process(
+                    self.ethernet.send_fragments(HEADER_WIRE_SIZE)
+                )
+                if not probe_lost:
+                    self._deliver(endpoint, request)
+            attempts += 1
+            if not self.ethernet.lossy and timeout is None:
+                # Lossless, no deadline: the reply will come (or the
+                # endpoint will fail the event on a crash).
+                reply = yield request.reply_event
+                break
+            wait = self.retransmit_interval
+            if deadline is not None:
+                wait = min(wait, max(deadline - self.env.now, 0.0))
+            timer = self.env.timeout(wait)
+            yield AnyOf(self.env, [request.reply_event, timer])
+            if request.reply_event.triggered:
+                if not request.reply_event.ok:
+                    raise request.reply_event.value
+                reply = request.reply_event.value
+                break
+            if deadline is not None and self.env.now >= deadline:
+                raise RpcTimeoutError(
+                    f"transaction on port {port:#x} timed out after {timeout}s"
+                )
+            if attempts >= self.max_retransmits:
+                raise RpcTimeoutError(
+                    f"transaction on port {port:#x} gave up after "
+                    f"{attempts} transmissions"
+                )
+            self.stats_retransmits += 1
+        # Client-side copy of the reply body out of the network buffers.
+        yield self.env.timeout(len(reply.body) * self.cpu.memcpy_per_byte)
+        self._trace("rpc", "trans complete", port=port, opcode=request.opcode,
+                    status=reply.status)
+        return reply
+
+    def _deliver(self, endpoint: ServiceEndpoint, request: RpcRequest) -> None:
+        """Hand an arrived request to the endpoint, suppressing
+        duplicates of in-progress or already-answered transactions."""
+        if endpoint.down:
+            if not request.reply_event.triggered:
+                request.reply_event.fail(
+                    ServerDownError(f"port {endpoint.port:#x} crashed")
+                )
+            return
+        if request.txid in endpoint.replying:
+            return  # the reply is on the wire right now; just wait
+        cached = endpoint.reply_cache.get(request.txid)
+        if cached is not None:
+            # Answered before; the reply (or part of it) was lost.
+            endpoint.replying.add(request.txid)
+            self.env.process(self._resend_reply(endpoint, request, cached))
+            return
+        if request.txid in endpoint.in_progress:
+            return  # duplicate of a transaction still being served
+        endpoint.in_progress.add(request.txid)
+        endpoint.inbox.put(request)
+
+    def _resend_reply(self, endpoint: ServiceEndpoint, request: RpcRequest,
+                      reply: RpcReply):
+        """Selective resend: only the reply fragments the client is
+        still missing (all of them when no record exists, e.g. for a
+        duplicate arriving after an endpoint restart)."""
+        lost = yield self.env.process(
+            self.ethernet.send_fragments(reply.wire_size, request.reply_missing)
+        )
+        endpoint.replying.discard(request.txid)
+        if lost:
+            request.reply_missing = lost
+            return
+        request.reply_missing = None
+        if not request.reply_event.triggered:
+            request.reply_event.succeed(reply)
+
+    def call(self, port: int, request: RpcRequest,
+             timeout: Optional[float] = None):
+        """Like :meth:`trans` but raises the marshalled server error when
+        the reply status is non-OK. Returns the reply on success."""
+        reply = yield self.env.process(self.trans(port, request, timeout))
+        if not reply.ok:
+            raise error_for_status(reply.status, reply.message)
+        return reply
+
+    @staticmethod
+    def reply_for_error(exc: ReproError) -> RpcReply:
+        """Marshal a server-side exception into an error reply."""
+        return RpcReply(status=int(exc.status), message=str(exc))
+
+    def _trace(self, category: str, message: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(category, message, **fields)

@@ -1,0 +1,36 @@
+"""The SUN-NFS-style baseline (S9): FFS block filesystem, buffer cache,
+NFS v2-style server and client."""
+
+from .buffercache import BufferCache, BufferCacheStats
+from .client import NfsClient, OpenFile
+from .ffs import (
+    FFS,
+    FFSInode,
+    MODE_DIR,
+    MODE_FILE,
+    MODE_FREE,
+    ROOT_INUM,
+    Superblock,
+    decode_directory,
+    encode_directory,
+)
+from .server import FileHandle, NFS_OPCODES, NfsServer
+
+__all__ = [
+    "BufferCache",
+    "BufferCacheStats",
+    "NfsClient",
+    "OpenFile",
+    "FFS",
+    "FFSInode",
+    "MODE_DIR",
+    "MODE_FILE",
+    "MODE_FREE",
+    "ROOT_INUM",
+    "Superblock",
+    "decode_directory",
+    "encode_directory",
+    "FileHandle",
+    "NFS_OPCODES",
+    "NfsServer",
+]

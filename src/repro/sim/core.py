@@ -1,0 +1,414 @@
+"""A small discrete-event simulation kernel.
+
+This is the substrate on which every timed component of the reproduction
+runs: the simulated disks, the shared Ethernet, the RPC layer, and the
+servers themselves are all *processes* — Python generators that ``yield``
+events (usually :class:`Timeout` or resource requests) and are resumed by
+the :class:`Environment` when those events fire.
+
+The design follows the classic event/process world view (as popularized
+by SimPy), implemented from scratch so the reproduction has no external
+dependencies:
+
+* :class:`Event` — a one-shot occurrence with a success value or failure
+  exception, and a callback list.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — wraps a generator; each yielded event suspends the
+  process until the event fires. The generator's ``return`` value becomes
+  the process's event value, so processes compose: ``result = yield
+  env.process(sub())``.
+* :class:`Environment` — the scheduler: a time-ordered event heap and the
+  simulated clock.
+
+Determinism: ties in the heap are broken by insertion order, so a given
+program always replays identically. No wall-clock time or global RNG is
+consulted anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "CountOf",
+    "run_process",
+]
+
+
+class Interrupt(Exception):
+    """Thrown inside a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries whatever the interrupter passed (e.g. a disk-failure
+    record for fault injection).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"Interrupt({cause!r})")
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the heap) ->
+    *processed* (callbacks ran). ``succeed``/``fail`` trigger the event;
+    the environment processes it at the scheduled time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        # Set when a process observed the failure (prevents "unhandled
+        # failure" noise for events whose failures are consumed).
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's success value, or its failure exception."""
+        if self._value is _PENDING:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class _Initialize(Event):
+    """Internal: kicks a newly created process on the next step."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running process; also an event that fires when it terminates.
+
+    The wrapped generator yields :class:`Event` instances. When a yielded
+    event succeeds, the generator is resumed with the event's value; when
+    it fails, the exception is thrown into the generator (so processes can
+    ``try/except`` failures of sub-operations).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A process may not interrupt itself, and a dead process cannot be
+        interrupted.
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a dead process")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        # Ignore stale wakeups: an interrupt may arrive while we were
+        # waiting on another event; when that event later fires we must
+        # not resume twice off of it if the generator already terminated.
+        if self.triggered:
+            return
+        self.env._active = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._gen.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self._gen.throw(event._value)
+                except StopIteration as stop:
+                    self._waiting_on = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    # The process body raised: the process event fails.
+                    # If nobody observes it, the failure surfaces from
+                    # Environment.step (errors never pass silently).
+                    self._waiting_on = None
+                    self.fail(exc)
+                    return
+                if not isinstance(target, Event):
+                    exc = TypeError(
+                        f"process yielded a non-event: {target!r}"
+                    )
+                    # Crash the process with a clear error.
+                    self._waiting_on = None
+                    self._gen.close()
+                    self.fail(exc)
+                    return
+                if target.processed:
+                    # Already fired: loop and feed its value immediately.
+                    event = target
+                    continue
+                self._waiting_on = target
+                target.callbacks.append(self._resume)
+                return
+        finally:
+            self.env._active = None
+
+
+class _ConditionBase(Event):
+    """Fires when ``need`` of the given events have succeeded.
+
+    If enough events fail that success becomes impossible, the condition
+    fails with the first failure's exception.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need: int):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"condition requires events, got {ev!r}")
+        if need < 0 or need > len(self.events):
+            raise ValueError(
+                f"need {need} of {len(self.events)} events is impossible"
+            )
+        self._need = need
+        self._done: set[int] = set()  # ids of events that fired successfully
+        self._failed = 0
+        self._first_failure: Optional[BaseException] = None
+        # Register on every event even when need is already met: late
+        # failures (e.g. a background replica write after a P-FACTOR 0
+        # reply) must still be consumed rather than crash the run.
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self.triggered and len(self._done) >= self._need:
+            self.succeed(self._collect())
+
+    def _collect(self) -> list:
+        """Values of the events that have *fired* successfully, in event
+        order. Note Timeout carries its value from construction, so we
+        track firing explicitly rather than trusting ``triggered``."""
+        return [ev.value for ev in self.events if id(ev) in self._done]
+
+    def _check(self, event: Event) -> None:
+        if not event.ok:
+            # Consume the failure even if we already triggered; a late
+            # replica failure after quorum must not crash the run.
+            event._defused = True
+        if self.triggered:
+            return
+        if event.ok:
+            self._done.add(id(event))
+        else:
+            self._failed += 1
+            if self._first_failure is None:
+                assert isinstance(event.value, BaseException)
+                self._first_failure = event.value
+        if len(self._done) >= self._need:
+            self.succeed(self._collect())
+        elif len(self.events) - self._failed < self._need:
+            assert self._first_failure is not None
+            self.fail(self._first_failure)
+
+
+class AllOf(_ConditionBase):
+    """Fires when every event has succeeded; value is the list of values."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        events = list(events)
+        super().__init__(env, events, need=len(events))
+
+
+class AnyOf(_ConditionBase):
+    """Fires when at least one event has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, need=1)
+
+
+class CountOf(_ConditionBase):
+    """Fires when ``need`` of the events have succeeded.
+
+    This is the primitive behind the Bullet server's P-FACTOR: issue
+    writes to all replicas and reply to the client once ``need`` of them
+    have completed.
+    """
+
+
+class Environment:
+    """The simulation scheduler and clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active
+
+    # -- event construction helpers -------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def count_of(self, events: Iterable[Event], need: int) -> CountOf:
+        return CountOf(self, events, need)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise RuntimeError("no scheduled events")
+        when, _priority, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody consumed: surface it rather than letting
+            # errors pass silently.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        * ``until`` is ``None``: run until no events remain.
+        * ``until`` is a number: run until the clock reaches it.
+        * ``until`` is an :class:`Event`: run until it fires, then return
+          its value (re-raising its exception on failure).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._heap:
+                    raise RuntimeError(
+                        "deadlock: event will never fire (no scheduled events)"
+                    )
+                self.step()
+            if until.ok:
+                return until.value
+            until._defused = True
+            raise until.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+
+def run_process(env: Environment, generator: Generator) -> Any:
+    """Convenience for tests: run ``generator`` to completion, return value."""
+    return env.run(until=env.process(generator))

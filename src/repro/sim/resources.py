@@ -1,0 +1,165 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — a counted resource with a FIFO wait queue. The
+  simulated Ethernet (one transmission at a time) and each disk arm
+  (one seek/transfer at a time) are ``Resource(capacity=1)``.
+* :class:`PriorityResource` — like :class:`Resource` but requests carry a
+  priority (lower first); the disk elevator scheduler uses it.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; the
+  RPC layer's per-port request queues are Stores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Resource", "PriorityResource", "Store", "Request"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent users and a FIFO queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current users."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim the resource; yield the returned event to wait for it."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted request."""
+        if request not in self._users:
+            raise RuntimeError("releasing a request that does not hold the resource")
+        self._users.discard(request)
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued request that has not been granted yet."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise RuntimeError("request not queued (already granted or cancelled)")
+
+    # Queue discipline hooks (overridden by PriorityResource).
+
+    def _enqueue(self, req: Request) -> None:
+        self._queue.append(req)
+
+    def _dequeue(self) -> Optional[Request]:
+        return self._queue.popleft() if self._queue else None
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest-priority-value first.
+
+    Ties are served FIFO (stable via an insertion counter).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pqueue: list = []
+        self._counter = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        req = Request(self, priority)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def cancel(self, request: Request) -> None:
+        for i, (_, _, queued) in enumerate(self._pqueue):
+            if queued is request:
+                self._pqueue.pop(i)
+                heapq.heapify(self._pqueue)
+                return
+        raise RuntimeError("request not queued (already granted or cancelled)")
+
+    def _enqueue(self, req: Request) -> None:
+        self._counter += 1
+        heapq.heappush(self._pqueue, (req.priority, self._counter, req))
+
+    def _dequeue(self) -> Optional[Request]:
+        if not self._pqueue:
+            return None
+        _, _, req = heapq.heappop(self._pqueue)
+        return req
+
+
+class Store:
+    """An unbounded FIFO channel of items.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item (immediately if one is available).
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,5 @@
+"""UNIX emulation (S11): POSIX-flavoured files over immutable storage."""
+
+from .fs import UnixEmulation, UnixFile
+
+__all__ = ["UnixEmulation", "UnixFile"]

@@ -1,0 +1,65 @@
+"""Shared fixtures: a small, fast testbed for unit/integration tests.
+
+The benchmark harness uses the full paper-scale testbed; tests use a
+scaled-down one (32 MB disks, 2 MB cache) so volume formatting and
+scans stay fast while exercising identical code paths.
+"""
+
+import pytest
+
+from repro.disk import MirroredDiskSet, VirtualDisk
+from repro.profiles import BulletProfile, DiskProfile, Testbed
+from repro.core import BulletServer
+from repro.sim import Environment
+from repro.units import MB
+
+
+SMALL_DISK = DiskProfile(
+    name="small-test-disk",
+    capacity_bytes=32 * MB,
+    cylinders=128,
+    heads=4,
+    sectors_per_track=32,
+)
+
+SMALL_BULLET = BulletProfile(
+    ram_bytes=3 * MB,
+    reserved_ram_bytes=1 * MB,
+    inode_count=256,
+    rnode_count=128,
+    default_p_factor=2,
+)
+
+
+def small_testbed(disk: DiskProfile = None, **bullet_overrides) -> Testbed:
+    """A Testbed scaled for fast tests."""
+    bullet = SMALL_BULLET
+    if bullet_overrides:
+        from dataclasses import replace
+        bullet = replace(bullet, **bullet_overrides)
+    return Testbed(disk=disk or SMALL_DISK, bullet=bullet)
+
+
+def make_bullet(env: Environment, n_disks: int = 2, testbed: Testbed = None,
+                transport=None, **server_kwargs) -> BulletServer:
+    """A formatted, booted Bullet server on fresh small disks."""
+    testbed = testbed or small_testbed()
+    disks = [
+        VirtualDisk(env, testbed.disk, name=f"bd{i}") for i in range(n_disks)
+    ]
+    mirror = MirroredDiskSet(env, disks)
+    server = BulletServer(env, mirror, testbed, transport=transport,
+                          **server_kwargs)
+    server.format()
+    env.run(until=env.process(server.boot()))
+    return server
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def bullet(env):
+    return make_bullet(env)

@@ -1,0 +1,191 @@
+"""Tests for the benchmark harness: workload distributions, table
+rendering, and a scaled-down smoke run of the figure experiments."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    FileSizeDistribution,
+    MeasurementTable,
+    TraceGenerator,
+    bullet_figure2,
+    comparison_lines,
+    make_rig,
+    nfs_figure3,
+    throughput_vs_clients,
+)
+from repro.sim import SeededStream
+from repro.units import KB, MB
+
+from conftest import small_testbed
+
+
+# -------------------------------------------------------------- workload
+
+
+def test_size_distribution_matches_cited_statistics():
+    """[1]: median ~1 KB, 99% under 64 KB."""
+    dist = FileSizeDistribution()
+    stream = SeededStream(5, "sizes")
+    samples = sorted(dist.sample(stream) for _ in range(20000))
+    median = samples[len(samples) // 2]
+    p99 = samples[int(len(samples) * 0.99)]
+    assert 0.6 * KB < median < 1.6 * KB
+    assert p99 <= 80 * KB  # clamped tail keeps this near 64 KB
+    assert all(1 <= s <= 1 * MB for s in samples)
+
+
+def test_size_distribution_deterministic():
+    dist = FileSizeDistribution()
+    a = [dist.sample(SeededStream(7, "s")) for _ in range(10)]
+    b = [dist.sample(SeededStream(7, "s")) for _ in range(10)]
+    assert a == b
+
+
+def test_trace_generator_validity():
+    """Reads/deletes only touch live files; sizes are attached to
+    creates; the trace replays deterministically."""
+    gen = TraceGenerator(seed=3)
+    trace = gen.generate(n_ops=500, prepopulate=10)
+    live = set()
+    for op in trace:
+        if op.kind == "create":
+            assert op.file_id not in live
+            assert op.size >= 1
+            live.add(op.file_id)
+        elif op.kind == "read":
+            assert op.file_id in live
+        else:
+            assert op.file_id in live
+            live.remove(op.file_id)
+    trace2 = TraceGenerator(seed=3).generate(n_ops=500, prepopulate=10)
+    assert trace == trace2
+
+
+def test_trace_generator_mix_fractions():
+    gen = TraceGenerator(seed=9, read_fraction=0.8, delete_fraction=0.05)
+    trace = gen.generate(n_ops=2000, prepopulate=50)
+    reads = sum(1 for op in trace if op.kind == "read")
+    assert 0.7 < reads / 2000 < 0.9
+
+
+def test_trace_generator_rejects_bad_fractions():
+    with pytest.raises(ValueError):
+        TraceGenerator(seed=1, read_fraction=0.8, delete_fraction=0.3)
+
+
+def test_trace_reads_are_popularity_skewed():
+    gen = TraceGenerator(seed=11, read_fraction=0.9, delete_fraction=0.0)
+    trace = gen.generate(n_ops=3000, prepopulate=100)
+    counts = {}
+    for op in trace:
+        if op.kind == "read":
+            counts[op.file_id] = counts.get(op.file_id, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    # Popularity is concentrated: the top decile of read files takes a
+    # disproportionate share of all reads.
+    total = sum(top)
+    decile = max(len(top) // 10, 1)
+    assert sum(top[:decile]) > 0.25 * total
+    assert top[0] > 2 * top[len(top) // 2]
+
+
+# ---------------------------------------------------------------- tables
+
+
+def make_table():
+    table = MeasurementTable(title="T", columns=["READ", "CREATE"])
+    table.record(1024, "READ", 0.002)
+    table.record(1024, "CREATE", 0.020)
+    table.record(1024 * 1024, "READ", 1.5)
+    table.record(1024 * 1024, "CREATE", 2.0)
+    return table
+
+
+def test_table_delay_and_bandwidth():
+    table = make_table()
+    assert table.delay(1024, "READ") == 0.002
+    assert table.bandwidth(1024, "READ") == pytest.approx(500.0)  # 1KB/2ms
+
+
+def test_table_rejects_unknown_column():
+    table = make_table()
+    with pytest.raises(ValueError):
+        table.record(1, "WRITE", 0.1)
+
+
+def test_table_rendering_shapes():
+    table = make_table()
+    delay = table.render_delay()
+    assert "Delay (msec)" in delay
+    assert "1 Kbytes" in delay and "1 Mbyte" in delay
+    assert "2.0" in delay  # 0.002 s -> 2.0 ms
+    bandwidth = table.render_bandwidth()
+    assert "Bandwidth (Kbytes/sec)" in bandwidth
+    assert "500.0" in bandwidth
+
+
+def test_comparison_lines_claims():
+    bullet = MeasurementTable(title="B", columns=["READ", "CREATE+DEL"])
+    nfs = MeasurementTable(title="N", columns=["READ", "CREATE"])
+    # Synthetic numbers shaped like the paper: 4-5x read speedups, and
+    # the NFS 1 MB dip (8 s read for 1 MB is slower per byte than 0.4 s
+    # for 64 KB).
+    for size, b_read, n_read in ((64 * KB, 0.1, 0.4), (1 * MB, 1.5, 8.0)):
+        bullet.record(size, "READ", b_read)
+        bullet.record(size, "CREATE+DEL", b_read * 1.4)
+        nfs.record(size, "READ", n_read)
+        nfs.record(size, "CREATE", n_read * 2.5)
+    text = comparison_lines(bullet, nfs)
+    assert "C1 read speedup" in text
+    assert "4.0x" in text
+    assert "HOLDS" in text and "FAILS" not in text
+
+
+@given(
+    seconds=st.floats(min_value=1e-6, max_value=100.0),
+    size=st.integers(min_value=1, max_value=1 << 24),
+)
+@settings(max_examples=50)
+def test_table_bandwidth_consistent_property(seconds, size):
+    table = MeasurementTable(title="T", columns=["X"])
+    table.record(size, "X", seconds)
+    assert table.bandwidth(size, "X") == pytest.approx(
+        (size / 1024) / seconds)
+
+
+# ----------------------------------------------------------- harness smoke
+
+
+def test_small_rig_figures_smoke():
+    """The full figure pipeline on the scaled-down testbed: sanity of
+    structure, not calibration (the paper-scale run lives in
+    benchmarks/)."""
+    rig = make_rig(testbed=small_testbed(), background_load=False,
+                   nfs_churn=False)
+    sizes = [1, 1 * KB, 64 * KB]
+    fig2 = bullet_figure2(rig, sizes=sizes, repeats=1)
+    fig3 = nfs_figure3(rig, sizes=sizes, repeats=1)
+    for size in sizes:
+        assert fig2.delay(size, "READ") > 0
+        assert fig3.delay(size, "READ") > fig2.delay(size, "READ")
+    text = comparison_lines(fig2, fig3)
+    assert "C1" in text
+
+
+def test_throughput_helper_smoke():
+    results = throughput_vs_clients([1, 2], file_size=1 * KB, duration=2.0,
+                                    testbed=small_testbed())
+    assert results[1] > 0
+    assert results[2] >= results[1] * 0.9
+
+
+def test_rig_determinism():
+    """Identical seeds must reproduce identical simulated delays."""
+    def once():
+        rig = make_rig(testbed=small_testbed(), seed=77, with_nfs=False)
+        table = bullet_figure2(rig, sizes=[1 * KB], repeats=2)
+        return table.delay(1 * KB, "READ"), table.delay(1 * KB, "CREATE+DEL")
+
+    assert once() == once()

@@ -1,0 +1,561 @@
+"""Tests for the disk substrate: geometry/timing, the virtual disk,
+scheduling disciplines, mirroring, and fault injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import (
+    DiskGeometry,
+    ElevatorQueue,
+    FaultInjector,
+    FcfsQueue,
+    MirroredDiskSet,
+    VirtualDisk,
+    make_queue,
+)
+from repro.errors import DiskIOError, ServerDownError
+from repro.profiles import DiskProfile
+from repro.sim import Environment, run_process
+from repro.units import KB, MB
+
+
+SMALL = DiskProfile(name="small", capacity_bytes=16 * MB, cylinders=64,
+                    heads=4, sectors_per_track=32)
+
+
+def make_disk(env, name="d0", discipline="fcfs", profile=SMALL):
+    return VirtualDisk(env, profile, name=name, discipline=discipline)
+
+
+# ----------------------------------------------------------- geometry
+
+
+def test_geometry_block_counts():
+    g = DiskGeometry(SMALL)
+    assert g.total_blocks == 16 * MB // 512
+    assert g.block_size == 512
+
+
+def test_cylinder_mapping():
+    g = DiskGeometry(SMALL)
+    per_cyl = SMALL.blocks_per_cylinder
+    assert g.cylinder_of(0) == 0
+    assert g.cylinder_of(per_cyl - 1) == 0
+    assert g.cylinder_of(per_cyl) == 1
+
+
+def test_cylinder_mapping_rejects_bad_block():
+    g = DiskGeometry(SMALL)
+    with pytest.raises(ValueError):
+        g.cylinder_of(-1)
+    with pytest.raises(ValueError):
+        g.cylinder_of(g.total_blocks)
+
+
+def test_seek_time_zero_for_same_cylinder():
+    g = DiskGeometry(SMALL)
+    assert g.seek_time(5, 5) == 0.0
+
+
+def test_seek_time_monotone_in_distance():
+    g = DiskGeometry(SMALL)
+    times = [g.seek_time(0, d) for d in (1, 4, 16, 63)]
+    assert times == sorted(times)
+    assert times[0] >= SMALL.seek_settle
+
+
+def test_full_stroke_seek_matches_profile():
+    g = DiskGeometry(SMALL)
+    assert g.seek_time(0, SMALL.cylinders - 1) == pytest.approx(
+        SMALL.seek_full_stroke
+    )
+
+
+def test_transfer_time_linear():
+    g = DiskGeometry(SMALL)
+    assert g.transfer_time(20) == pytest.approx(2 * g.transfer_time(10))
+    assert g.transfer_time(0) == 0.0
+
+
+def test_contiguous_access_cheaper_than_scattered():
+    """The core physical claim of the paper: reading N blocks
+    contiguously costs far less than reading them scattered."""
+    g = DiskGeometry(SMALL)
+    nblocks = 128  # 64 KB
+    contiguous = g.access_time(0, 0, nblocks)
+    per_cyl = SMALL.blocks_per_cylinder
+    scattered = 0.0
+    cyl = 0
+    for i in range(nblocks):
+        target_cyl = (i * 7) % SMALL.cylinders
+        scattered += g.access_time(cyl, target_cyl * per_cyl, 1)
+        cyl = target_cyl
+    assert scattered > 5 * contiguous
+
+
+def test_access_time_charges_cylinder_crossings():
+    g = DiskGeometry(SMALL)
+    per_cyl = SMALL.blocks_per_cylinder
+    within = g.access_time(0, 0, per_cyl)
+    crossing = g.access_time(0, 0, per_cyl + 1)
+    assert crossing > within
+
+
+@given(
+    start=st.integers(min_value=0, max_value=1000),
+    nblocks=st.integers(min_value=1, max_value=512),
+    cyl=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=100)
+def test_access_time_positive_property(start, nblocks, cyl):
+    g = DiskGeometry(SMALL)
+    t = g.access_time(cyl, start, nblocks)
+    assert t >= g.transfer_time(nblocks)
+
+
+# -------------------------------------------------------- virtual disk
+
+
+def test_write_then_read_roundtrip():
+    env = Environment()
+    disk = make_disk(env)
+    payload = bytes(range(256)) * 8  # 4 blocks
+
+    def proc():
+        yield disk.write(10, payload)
+        data = yield disk.read(10, 4)
+        return data
+
+    data = run_process(env, proc())
+    assert data[: len(payload)] == payload
+
+
+def test_unwritten_blocks_read_as_zero():
+    env = Environment()
+    disk = make_disk(env)
+
+    def proc():
+        data = yield disk.read(100, 2)
+        return data
+
+    assert run_process(env, proc()) == bytes(1024)
+
+
+def test_write_pads_partial_block():
+    env = Environment()
+    disk = make_disk(env)
+
+    def proc():
+        yield disk.write(0, b"hello")
+        data = yield disk.read(0, 1)
+        return data
+
+    data = run_process(env, proc())
+    assert data == b"hello" + bytes(512 - 5)
+
+
+def test_write_empty_rejected():
+    env = Environment()
+    disk = make_disk(env)
+    with pytest.raises(ValueError):
+        disk.write(0, b"")
+
+
+def test_read_takes_simulated_time():
+    env = Environment()
+    disk = make_disk(env)
+
+    def proc():
+        yield disk.read(0, 16)
+        return env.now
+
+    elapsed = run_process(env, proc())
+    g = disk.geometry
+    assert elapsed == pytest.approx(
+        g.avg_rotational_latency + g.transfer_time(16)
+    )
+
+
+def test_requests_serialize_on_the_arm():
+    """Two concurrent reads must not overlap in time."""
+    env = Environment()
+    disk = make_disk(env)
+    done = []
+
+    def reader(tag):
+        yield disk.read(0, 64)
+        done.append((tag, env.now))
+
+    env.process(reader("a"))
+    env.process(reader("b"))
+    env.run()
+    (t_a, t_b) = (done[0][1], done[1][1])
+    one_read = disk.geometry.avg_rotational_latency + disk.geometry.transfer_time(64)
+    assert t_a == pytest.approx(one_read)
+    assert t_b == pytest.approx(2 * one_read)
+
+
+def test_stats_accumulate():
+    env = Environment()
+    disk = make_disk(env)
+
+    def proc():
+        yield disk.write(0, bytes(1024))
+        yield disk.read(0, 2)
+
+    run_process(env, proc())
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 1
+    assert disk.stats.blocks_written == 2
+    assert disk.stats.blocks_read == 2
+    assert disk.stats.busy_time > 0
+
+
+def test_raw_plane_is_free_and_instant():
+    env = Environment()
+    disk = make_disk(env)
+    disk.write_raw(5, b"raw data")
+    assert disk.read_raw(5, 1)[:8] == b"raw data"
+    assert env.now == 0.0
+    assert disk.stats.writes == 0
+
+
+def test_sparse_storage():
+    env = Environment()
+    disk = make_disk(env)
+    disk.write_raw(1000, bytes(512))
+    assert disk.used_host_bytes() == 512
+
+
+def test_out_of_range_extent_rejected():
+    env = Environment()
+    disk = make_disk(env)
+    with pytest.raises(ValueError):
+        disk.read(disk.total_blocks - 1, 2)
+
+
+def test_failed_disk_rejects_new_requests():
+    env = Environment()
+    disk = make_disk(env)
+    disk.fail("test")
+
+    def proc():
+        try:
+            yield disk.read(0, 1)
+        except DiskIOError:
+            return "io-error"
+        return "unexpected success"
+
+    assert run_process(env, proc()) == "io-error"
+
+
+def test_failure_drains_pending_queue():
+    env = Environment()
+    disk = make_disk(env)
+    results = []
+
+    def reader():
+        try:
+            yield disk.read(0, 2048)
+        except DiskIOError:
+            results.append("failed")
+
+    def second_reader():
+        try:
+            yield disk.read(100, 2048)
+        except DiskIOError:
+            results.append("failed")
+
+    def killer():
+        yield env.timeout(1e-6)
+        disk.fail("mid-flight")
+
+    env.process(reader())
+    env.process(second_reader())
+    env.process(killer())
+    env.run()
+    assert results == ["failed", "failed"]
+
+
+def test_repair_restores_service():
+    env = Environment()
+    disk = make_disk(env)
+    disk.fail("test")
+    disk.repair()
+
+    def proc():
+        yield disk.write(0, b"back")
+        return (yield disk.read(0, 1))[:4]
+
+    assert run_process(env, proc()) == b"back"
+
+
+# ---------------------------------------------------------- schedulers
+
+
+class _Req:
+    def __init__(self, cylinder, tag):
+        self.cylinder = cylinder
+        self.tag = tag
+
+
+def test_fcfs_order():
+    q = FcfsQueue()
+    for i, cyl in enumerate((9, 1, 5)):
+        q.push(_Req(cyl, i))
+    assert [q.pop(0).tag for _ in range(3)] == [0, 1, 2]
+    assert q.pop(0) is None
+
+
+def test_elevator_sweeps_upward_first():
+    q = ElevatorQueue()
+    for tag, cyl in enumerate((50, 10, 30)):
+        q.push(_Req(cyl, tag))
+    # Arm at 20 sweeping up: 30, 50, then reverse to 10.
+    order = [q.pop(20).cylinder, q.pop(30).cylinder, q.pop(50).cylinder]
+    assert order == [30, 50, 10]
+
+
+def test_elevator_ties_fifo():
+    q = ElevatorQueue()
+    q.push(_Req(5, "first"))
+    q.push(_Req(5, "second"))
+    assert q.pop(0).tag == "first"
+    assert q.pop(5).tag == "second"
+
+
+def test_make_queue_factory():
+    assert isinstance(make_queue("fcfs"), FcfsQueue)
+    assert isinstance(make_queue("elevator"), ElevatorQueue)
+    with pytest.raises(ValueError):
+        make_queue("sstf")
+
+
+def test_elevator_disk_reduces_seek_time_under_load():
+    """Under a batch of scattered requests, SCAN must finish no later
+    than FCFS."""
+    per_cyl = SMALL.blocks_per_cylinder
+    targets = [(i * 37) % 60 for i in range(24)]
+
+    def total_time(discipline):
+        env = Environment()
+        disk = make_disk(env, discipline=discipline)
+
+        def client(cyl):
+            yield disk.read(cyl * per_cyl, 1)
+
+        for cyl in targets:
+            env.process(client(cyl))
+        env.run()
+        return env.now
+
+    assert total_time("elevator") <= total_time("fcfs")
+
+
+# ------------------------------------------------------------ mirroring
+
+
+def make_mirror(env, n=2):
+    disks = [make_disk(env, name=f"d{i}") for i in range(n)]
+    return MirroredDiskSet(env, disks), disks
+
+
+def test_mirror_requires_a_disk():
+    env = Environment()
+    with pytest.raises(ValueError):
+        MirroredDiskSet(env, [])
+
+
+def test_mirror_write_reaches_all_replicas():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+
+    def proc():
+        yield mirror.write(3, b"replicated")
+
+    run_process(env, proc())
+    for disk in disks:
+        assert disk.read_raw(3, 1)[:10] == b"replicated"
+
+
+def test_mirror_write_need_zero_returns_immediately():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+
+    def proc():
+        yield mirror.write(0, b"lazy", need=0)
+        return env.now
+
+    assert run_process(env, proc()) == 0.0
+    env.run()  # let the background writes finish
+    for disk in disks:
+        assert disk.read_raw(0, 1)[:4] == b"lazy"
+
+
+def test_mirror_write_need_one_faster_than_all():
+    """With one busy replica, waiting for 1 of 2 writes must complete
+    before waiting for 2 of 2 would."""
+    env = Environment()
+    mirror, disks = make_mirror(env)
+
+    def hog():
+        yield disks[1].read(0, 4096)  # keep replica 1 busy
+
+    times = {}
+
+    def writer():
+        yield env.timeout(1e-9)  # let the hog enqueue first
+        yield mirror.write(0, b"quick", need=1)
+        times["one"] = env.now
+
+    env.process(hog())
+    env.process(writer())
+    env.run()
+    assert times["one"] < env.now  # full run includes the slow replica
+
+
+def test_mirror_read_uses_primary():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    disks[0].write_raw(7, b"primary data")
+    disks[1].write_raw(7, b"replica data")
+
+    def proc():
+        data = yield mirror.read(7, 1)
+        return data[:12]
+
+    assert run_process(env, proc()) == b"primary data"
+
+
+def test_mirror_failover_on_primary_death():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    disks[0].write_raw(7, b"same bytes!")
+    disks[1].write_raw(7, b"same bytes!")
+    disks[0].fail("primary dead")
+    assert mirror.primary is disks[1]
+
+    def proc():
+        data = yield mirror.read(7, 1)
+        return data[:11]
+
+    assert run_process(env, proc()) == b"same bytes!"
+
+
+def test_mirror_read_with_failover_mid_flight():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    for d in disks:
+        d.write_raw(0, b"survives")
+
+    def killer():
+        yield env.timeout(1e-6)
+        disks[0].fail("mid-read")
+
+    def proc():
+        data = yield env.process(mirror.read_with_failover(0, 2048))
+        return data[:8]
+
+    env.process(killer())
+    assert run_process(env, proc()) == b"survives"
+
+
+def test_mirror_all_dead_raises_server_down():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    for d in disks:
+        d.fail("gone")
+    with pytest.raises(ServerDownError):
+        mirror.primary
+
+    def proc():
+        try:
+            yield mirror.write(0, b"x")
+        except ServerDownError:
+            return "down"
+
+    assert run_process(env, proc()) == "down"
+
+
+def test_mirror_write_skips_dead_replica():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    disks[1].fail("gone")
+
+    def proc():
+        yield mirror.write(0, b"solo")
+
+    run_process(env, proc())
+    assert disks[0].read_raw(0, 1)[:4] == b"solo"
+    assert mirror.replica_count == 1
+
+
+def test_recovery_copies_whole_disk():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    disks[0].write_raw(0, b"block zero")
+    disks[0].write_raw(500, b"block five hundred")
+    disks[1].fail("to be recovered")
+
+    def proc():
+        blocks = yield env.process(mirror.recover(disks[1]))
+        return blocks
+
+    blocks = run_process(env, proc())
+    assert blocks == disks[0].total_blocks
+    assert disks[1].read_raw(0, 1)[:10] == b"block zero"
+    assert disks[1].read_raw(500, 1)[:18] == b"block five hundred"
+    assert not disks[1].failed
+    assert env.now > 0  # recovery charged simulated time
+
+
+def test_recovery_from_self_rejected():
+    env = Environment()
+    mirror, disks = make_mirror(env)
+    disks[1].fail("x")
+    gen = mirror.recover(disks[0])
+    with pytest.raises(ValueError):
+        # primary is disks[0] only after disks[... wait, disks[0] alive
+        run_process(env, gen)
+
+
+# ------------------------------------------------------- fault injection
+
+
+def test_fault_injector_fail_at():
+    env = Environment()
+    disk = make_disk(env)
+    FaultInjector(env).fail_at(disk, when=0.5)
+    env.run(until=0.4)
+    assert not disk.failed
+    env.run(until=0.6)
+    assert disk.failed
+
+
+def test_fault_injector_rejects_past_time():
+    env = Environment()
+    disk = make_disk(env)
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        FaultInjector(env).fail_at(disk, when=0.5)
+
+
+def test_fault_injector_fail_after_writes():
+    env = Environment()
+    disk = make_disk(env)
+    FaultInjector(env).fail_after_writes(disk, writes=2)
+    outcomes = []
+
+    def writer():
+        for i in range(4):
+            try:
+                yield disk.write(i * 10, b"data")
+                outcomes.append("ok")
+            except DiskIOError:
+                outcomes.append("failed")
+
+    env.process(writer())
+    env.run()
+    assert outcomes[:2] == ["ok", "ok"]
+    assert "failed" in outcomes[2:]

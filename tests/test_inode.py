@@ -1,0 +1,185 @@
+"""Tests for inodes, the disk descriptor, and the resident inode table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import INODE_SIZE, DiskDescriptor, Inode, InodeTable
+from repro.errors import BadRequestError, ConsistencyError, NoSpaceError
+
+
+DESC = DiskDescriptor(block_size=512, control_size=8, data_size=1000)
+
+
+def make_table(count=64):
+    return InodeTable(DESC, count)
+
+
+# ---------------------------------------------------------------- Inode
+
+
+def test_inode_is_16_bytes():
+    assert len(Inode(secret=1, start_block=2, size=3).encode()) == INODE_SIZE
+
+
+def test_inode_roundtrip():
+    inode = Inode(secret=0xABCDEF123456, index=7, start_block=99, size=4096)
+    decoded = Inode.decode(inode.encode())
+    assert decoded.secret == inode.secret
+    assert decoded.start_block == inode.start_block
+    assert decoded.size == inode.size
+    # The cache index has "no significance on disk": always zero there.
+    assert decoded.index == 0
+
+
+def test_zero_inode_is_free():
+    assert Inode().free
+    assert not Inode(secret=1).free
+
+
+def test_inode_decode_rejects_wrong_size():
+    with pytest.raises(BadRequestError):
+        Inode.decode(bytes(15))
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    start=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    size=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_inode_roundtrip_property(secret, start, size):
+    inode = Inode(secret=secret, start_block=start, size=size)
+    decoded = Inode.decode(inode.encode())
+    assert (decoded.secret, decoded.start_block, decoded.size) == (secret, start, size)
+
+
+# ----------------------------------------------------------- descriptor
+
+
+def test_descriptor_roundtrip():
+    assert DiskDescriptor.decode(DESC.encode()) == DESC
+
+
+def test_descriptor_rejects_bad_magic():
+    with pytest.raises(ConsistencyError):
+        DiskDescriptor.decode(bytes(16))
+
+
+# ---------------------------------------------------------- inode table
+
+
+def test_table_requires_two_entries():
+    with pytest.raises(BadRequestError):
+        InodeTable(DESC, 1)
+
+
+def test_allocate_returns_low_numbers_first():
+    table = make_table()
+    assert table.allocate(secret=1, start_block=10, size=100) == 1
+    assert table.allocate(secret=2, start_block=20, size=200) == 2
+
+
+def test_allocate_rejects_zero_secret():
+    table = make_table()
+    with pytest.raises(BadRequestError):
+        table.allocate(secret=0, start_block=0, size=0)
+
+
+def test_allocate_exhaustion():
+    table = make_table(count=4)
+    for i in range(3):
+        table.allocate(secret=i + 1, start_block=i, size=1)
+    with pytest.raises(NoSpaceError):
+        table.allocate(secret=99, start_block=0, size=1)
+
+
+def test_release_recycles_inode():
+    table = make_table(count=4)
+    n = table.allocate(secret=5, start_block=1, size=1)
+    table.release(n)
+    assert table.get(n).free
+    # Released number is available again.
+    numbers = {table.allocate(secret=k + 1, start_block=0, size=0) for k in range(3)}
+    assert n in numbers
+
+
+def test_release_free_inode_rejected():
+    table = make_table()
+    with pytest.raises(BadRequestError):
+        table.release(3)
+
+
+def test_get_range_checked():
+    table = make_table(count=8)
+    with pytest.raises(BadRequestError):
+        table.get(0)  # inode 0 is the descriptor
+    with pytest.raises(BadRequestError):
+        table.get(8)
+
+
+def test_live_inodes_iteration():
+    table = make_table()
+    table.allocate(secret=1, start_block=0, size=10)
+    table.allocate(secret=2, start_block=5, size=20)
+    live = list(table.live_inodes())
+    assert [n for n, _ in live] == [1, 2]
+    assert table.live_count == 2
+    assert table.free_count == 61
+
+
+def test_block_of_inode():
+    table = make_table()
+    per_block = 512 // INODE_SIZE
+    assert table.block_of_inode(0) == 0
+    assert table.block_of_inode(per_block - 1) == 0
+    assert table.block_of_inode(per_block) == 1
+
+
+def test_encode_block_zero_contains_descriptor():
+    table = make_table()
+    block = table.encode_block(0)
+    assert len(block) == 512
+    assert DiskDescriptor.decode(block[:INODE_SIZE]) == DESC
+
+
+def test_table_encode_decode_roundtrip():
+    table = make_table()
+    n1 = table.allocate(secret=0x111111, start_block=50, size=1000)
+    n2 = table.allocate(secret=0x222222, start_block=60, size=2000)
+    table.get(n1).index = 5  # volatile, must not survive the disk
+    decoded = InodeTable.decode(table.encode(), block_size=512)
+    assert decoded.get(n1).secret == 0x111111
+    assert decoded.get(n1).index == 0
+    assert decoded.get(n2).size == 2000
+    assert decoded.live_count == 2
+    assert decoded.free_count == table.free_count
+
+
+def test_decode_rebuilds_free_list():
+    table = make_table(count=8)
+    for i in range(3):
+        table.allocate(secret=i + 1, start_block=i * 10, size=100)
+    table.release(2)
+    decoded = InodeTable.decode(table.encode(), block_size=512)
+    # Inode 2 must be allocatable again, 1 and 3 must not.
+    assert decoded.get(2).free
+    assert not decoded.get(1).free
+    assert decoded.allocate(secret=9, start_block=0, size=0) == 2
+
+
+def test_decode_rejects_mismatched_block_size():
+    table = make_table()
+    with pytest.raises(ConsistencyError):
+        InodeTable.decode(table.encode(), block_size=1024)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=62), unique=True, max_size=20))
+def test_allocate_release_keeps_counts_consistent(releases):
+    """Property: after arbitrary allocate/release interleavings, the free
+    count plus live count equals the table capacity."""
+    table = make_table()
+    allocated = [table.allocate(secret=i + 1, start_block=0, size=0) for i in range(62)]
+    for number in releases:
+        if number in allocated:
+            table.release(number)
+    assert table.live_count + table.free_count == 63

@@ -1,0 +1,126 @@
+"""Tests for the append-optimized log server."""
+
+import pytest
+
+from repro.capability import Capability, RIGHT_CREATE, RIGHT_READ, restrict
+from repro.disk import VirtualDisk
+from repro.errors import BadRequestError, NotFoundError, RightsError
+from repro.logsvc import LogServer
+from repro.sim import Environment, run_process
+
+from conftest import SMALL_DISK, small_testbed
+
+
+def make_log_server(env, name="logsvc", max_logs=8):
+    disk = VirtualDisk(env, SMALL_DISK, name=f"{name}-disk")
+    server = LogServer(env, disk, small_testbed(), name=name, max_logs=max_logs)
+    server.format()
+    env.run(until=env.process(server.boot()))
+    return server
+
+
+def test_create_append_read(env):
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+    assert run_process(env, logs.append(cap, b"line 1")) == 0
+    assert run_process(env, logs.append(cap, b"line 2")) == 1
+    assert run_process(env, logs.read(cap)) == [b"line 1", b"line 2"]
+    assert run_process(env, logs.length(cap)) == 2
+
+
+def test_read_from_sequence(env):
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+    for i in range(5):
+        run_process(env, logs.append(cap, f"r{i}".encode()))
+    assert run_process(env, logs.read(cap, from_seq=3)) == [b"r3", b"r4"]
+    assert run_process(env, logs.read(cap, from_seq=1, limit=2)) == [b"r1", b"r2"]
+
+
+def test_append_cost_independent_of_length(env):
+    """The whole point: appending to a long log costs no more than
+    appending to a short one (amortized over block boundaries)."""
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+
+    def timed_append():
+        t0 = env.now
+        run_process(env, logs.append(cap, b"x" * 50))
+        return env.now - t0
+
+    early = sum(timed_append() for _ in range(20)) / 20
+    for _ in range(400):
+        run_process(env, logs.append(cap, b"x" * 50))
+    late = sum(timed_append() for _ in range(20)) / 20
+    assert late < 2 * early
+
+
+def test_records_spanning_blocks(env):
+    """Fill several blocks and verify the chain decodes correctly."""
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+    records = [bytes([i % 256]) * 100 for i in range(30)]  # > 1 block
+    for record in records:
+        run_process(env, logs.append(cap, record))
+    assert run_process(env, logs.read(cap)) == records
+
+
+def test_record_size_limit(env):
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+    run_process(env, logs.append(cap, bytes(logs.max_record)))  # exactly fits
+    with pytest.raises(BadRequestError):
+        run_process(env, logs.append(cap, bytes(logs.max_record + 1)))
+
+
+def test_rights_enforced(env):
+    logs = make_log_server(env)
+    owner = run_process(env, logs.create_log())
+    reader = restrict(owner, RIGHT_READ)
+    with pytest.raises(RightsError):
+        run_process(env, logs.append(reader, b"nope"))
+    appender = restrict(owner, RIGHT_CREATE)
+    run_process(env, logs.append(restrict(owner, RIGHT_CREATE | RIGHT_READ), b"ok"))
+    with pytest.raises(RightsError):
+        run_process(env, logs.read(appender))
+
+
+def test_unknown_log_rejected(env):
+    logs = make_log_server(env)
+    bogus = Capability(port=logs.port, object=5, rights=0xFF, check=1)
+    with pytest.raises(NotFoundError):
+        run_process(env, logs.read(bogus))
+
+
+def test_log_survives_reboot(env):
+    logs = make_log_server(env)
+    cap = run_process(env, logs.create_log())
+    records = [f"persistent {i}".encode() for i in range(40)]
+    for record in records:
+        run_process(env, logs.append(cap, record))
+    reborn = LogServer(env, logs.disk, small_testbed(), name="logsvc")
+    count = env.run(until=env.process(reborn.boot()))
+    assert count == 1
+    cap2 = Capability(port=reborn.port, object=cap.object,
+                      rights=cap.rights, check=cap.check)
+    assert run_process(env, reborn.read(cap2)) == records
+    # And appending continues where it left off.
+    assert run_process(env, reborn.append(cap2, b"after reboot")) == 40
+
+
+def test_multiple_logs_isolated(env):
+    logs = make_log_server(env)
+    a = run_process(env, logs.create_log())
+    b = run_process(env, logs.create_log())
+    run_process(env, logs.append(a, b"for a"))
+    run_process(env, logs.append(b, b"for b"))
+    assert run_process(env, logs.read(a)) == [b"for a"]
+    assert run_process(env, logs.read(b)) == [b"for b"]
+
+
+def test_log_table_exhaustion(env):
+    logs = make_log_server(env, max_logs=2)
+    run_process(env, logs.create_log())
+    run_process(env, logs.create_log())
+    with pytest.raises(BadRequestError):
+        run_process(env, logs.create_log())

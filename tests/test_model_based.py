@@ -1,0 +1,128 @@
+"""Model-based testing of the Bullet server.
+
+Hypothesis drives random CREATE/READ/DELETE/MODIFY sequences against a
+real server while a trivial reference model (a dict of capability ->
+bytes) tracks intended state. After every operation the server's
+internal invariants must hold; at the end, the server is rebooted from
+its disks and must agree with the model exactly (for files written with
+P-FACTOR >= 1).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BulletServer
+from repro.errors import NoSpaceError, NotFoundError, ReproError
+from repro.capability import Capability
+from repro.sim import Environment, run_process
+from repro.units import KB
+
+from conftest import make_bullet
+
+
+class Step:
+    """One scripted operation (sizes small to keep runs fast)."""
+
+    def __init__(self, kind, size, target, offset, delete_bytes):
+        self.kind = kind
+        self.size = size
+        self.target = target
+        self.offset = offset
+        self.delete_bytes = delete_bytes
+
+    def __repr__(self):
+        return (f"Step({self.kind}, size={self.size}, target={self.target}, "
+                f"off={self.offset}, del={self.delete_bytes})")
+
+
+steps = st.builds(
+    Step,
+    kind=st.sampled_from(["create", "read", "delete", "modify", "evict"]),
+    size=st.integers(min_value=0, max_value=8 * KB),
+    target=st.integers(min_value=0, max_value=1 << 16),
+    offset=st.integers(min_value=0, max_value=8 * KB),
+    delete_bytes=st.integers(min_value=0, max_value=2 * KB),
+)
+
+
+def check_invariants(bullet):
+    bullet.disk_free.check_invariants()
+    bullet.cache.check_invariants()
+    # Accounting: every live inode's extent is allocated, totals match.
+    used = 0
+    for _number, inode in bullet.table.live_inodes():
+        blocks = bullet.layout.blocks_for(inode.size)
+        used += blocks
+        if blocks:
+            assert not bullet.disk_free.is_free(inode.start_block, blocks)
+    assert used == bullet.disk_free.used_units
+    # Every inode.index points at an rnode for that inode, and vice versa.
+    for _number, inode in bullet.table.live_inodes():
+        if inode.index:
+            rnode = bullet.cache.get_slot(inode.index)
+            assert rnode.inode_number == _number
+
+
+@given(script=st.lists(steps, max_size=40))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_bullet_server_matches_reference_model(script):
+    env = Environment()
+    bullet = make_bullet(env)
+    model: dict = {}  # Capability -> bytes
+    content_counter = 0
+
+    def pick(step):
+        caps = sorted(model, key=lambda c: c.object)
+        return caps[step.target % len(caps)] if caps else None
+
+    for step in script:
+        cap = pick(step)
+        if step.kind == "create":
+            content_counter += 1
+            payload = (content_counter.to_bytes(4, "big") * (step.size // 4 + 1))[: step.size]
+            try:
+                new_cap = run_process(env, bullet.create(payload, 2))
+            except NoSpaceError:
+                continue
+            assert new_cap not in model
+            model[new_cap] = payload
+        elif step.kind == "read":
+            if cap is None:
+                continue
+            assert run_process(env, bullet.read(cap)) == model[cap]
+        elif step.kind == "delete":
+            if cap is None:
+                continue
+            run_process(env, bullet.delete(cap))
+            del model[cap]
+            with pytest.raises((NotFoundError, ReproError)):
+                run_process(env, bullet.read(cap))
+        elif step.kind == "modify":
+            if cap is None:
+                continue
+            old = model[cap]
+            offset = step.offset % (len(old) + 1)
+            delete_bytes = min(step.delete_bytes, len(old) - offset)
+            insert = b"MOD" * 5
+            try:
+                new_cap = run_process(env, bullet.modify(
+                    cap, offset, delete_bytes, insert, 2))
+            except NoSpaceError:
+                continue
+            model[new_cap] = old[:offset] + insert + old[offset + delete_bytes:]
+            assert model[cap] == old  # immutability of the source
+        elif step.kind == "evict" and cap is not None:
+            bullet.evict(cap.object)
+        check_invariants(bullet)
+
+    # ---- Reboot from disk: everything must survive exactly. -------------
+    bullet.crash()
+    reborn = BulletServer(env, bullet.mirror, bullet.testbed, name="bullet")
+    report = env.run(until=env.process(reborn.boot()))
+    assert report.live_files == len(model)
+    assert reborn.disk_free.free_units == bullet.disk_free.free_units
+    for cap, expected in model.items():
+        assert run_process(env, reborn.read(cap)) == expected
+    check_invariants(reborn)
