@@ -1,0 +1,346 @@
+"""Cross-module project index for the invariant linter.
+
+Several rules need knowledge that no single file contains: S001 must know
+which functions are generator processes before it can flag a bare call
+that silently never starts one; C001 must know which functions
+(transitively) perform a ``require(...)`` rights check; C002 must pair
+each ``*OPCODES`` dispatch table with the ``_dispatch`` body that
+consumes it. The :class:`ProjectIndex` is one cheap pre-pass over every
+analyzed file that records exactly those facts:
+
+* every function/method: its qualified name, parameters (with annotation
+  text), whether it is a generator, and the calls it makes;
+* project-relative ``from ... import`` bindings, so a bare call can be
+  resolved across modules;
+* every ``*OPCODES`` table literal and every ``TABLE["KEY"]`` reference;
+* per-class ``self.attr`` annotations (used by D003's set-type inference).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["CallRef", "FunctionInfo", "ModuleInfo", "OpcodeRef", "ProjectIndex"]
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call site inside a function body.
+
+    ``kind`` is ``"self"`` for ``self.name(...)``, ``"bare"`` for
+    ``name(...)``, and ``"attr"`` for any dotted call (``a.b.name(...)``);
+    ``name`` is always the terminal segment, ``dotted`` the full chain.
+    """
+
+    kind: str
+    name: str
+    dotted: str
+    lineno: int
+
+
+@dataclass
+class FunctionInfo:
+    module: str
+    cls: Optional[str]
+    name: str
+    lineno: int
+    is_generator: bool
+    params: list = field(default_factory=list)   # (name, annotation text | None)
+    calls: list = field(default_factory=list)    # CallRef
+
+    @property
+    def key(self) -> tuple:
+        return (self.module, self.cls, self.name)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass(frozen=True)
+class OpcodeRef:
+    table: str
+    key: str
+    lineno: int
+    function: Optional[tuple]  # enclosing FunctionInfo.key, if any
+
+
+@dataclass
+class ModuleInfo:
+    module: str
+    path: str
+    functions: dict = field(default_factory=dict)      # (cls|None, name) -> FunctionInfo
+    imports: dict = field(default_factory=dict)        # local name -> (module, name)
+    opcode_tables: dict = field(default_factory=dict)  # table name -> {key: lineno}
+    table_linenos: dict = field(default_factory=dict)  # table name -> def lineno
+    opcode_refs: list = field(default_factory=list)    # OpcodeRef
+    class_attr_annotations: dict = field(default_factory=dict)  # cls -> {attr: ann}
+
+
+def _is_generator_body(body: Iterable[ast.stmt]) -> bool:
+    """True when the statements contain a yield at their own scope."""
+
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            self.found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            self.found = True
+
+        # Yields inside nested definitions belong to those definitions.
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            pass
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+    finder = _Finder()
+    for stmt in body:
+        finder.visit(stmt)
+        if finder.found:
+            return True
+    return False
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def call_ref(node: ast.Call) -> Optional[CallRef]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return CallRef("bare", func.id, func.id, node.lineno)
+    if isinstance(func, ast.Attribute):
+        dotted = dotted_name(func)
+        if dotted is None:
+            # Call on a computed expression (e.g. ``fns[i]()``): keep the
+            # terminal attribute so name-seeded checks still see it.
+            return CallRef("attr", func.attr, func.attr, node.lineno)
+        if dotted.startswith("self.") and dotted.count(".") == 1:
+            return CallRef("self", func.attr, dotted, node.lineno)
+        return CallRef("attr", func.attr, dotted, node.lineno)
+    return None
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Absolute module name for a ``from ...target import`` statement."""
+    if level == 0:
+        return target or ""
+    parts = module.split(".")
+    base = parts[: len(parts) - level] if level <= len(parts) else []
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """One pass collecting everything :class:`ModuleInfo` holds."""
+
+    def __init__(self, info: ModuleInfo):
+        self.info = info
+        self._class_stack: list = []
+        self._function_stack: list = []
+
+    # ------------------------------------------------------------ scopes
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        # Class-body annotations (``members: set[int]``) declare instance
+        # attributes just as ``self.members: set[int]`` in __init__ does.
+        annotations = self.info.class_attr_annotations.setdefault(node.name, {})
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                annotations[stmt.target.id] = ast.unparse(stmt.annotation)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        nested = bool(self._function_stack)
+        fn = FunctionInfo(
+            module=self.info.module,
+            cls=None if nested else cls,
+            name=node.name,
+            lineno=node.lineno,
+            is_generator=_is_generator_body(node.body),
+            params=[
+                (arg.arg, ast.unparse(arg.annotation) if arg.annotation else None)
+                for arg in list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            ],
+        )
+        # Nested helpers (closures) are indexed by bare name too, so S001
+        # can still recognize a local generator; collisions keep the
+        # outermost definition.
+        self.info.functions.setdefault((fn.cls, fn.name), fn)
+        self._function_stack.append(fn)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # ------------------------------------------------------------ facts
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        source = _resolve_relative(self.info.module, node.level, node.module)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.info.imports[alias.asname or alias.name] = (source, alias.name)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_opcode_table(node.targets, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        target = node.target
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class_stack
+        ):
+            annotations = self.info.class_attr_annotations.setdefault(
+                self._class_stack[-1], {}
+            )
+            annotations[target.attr] = ast.unparse(node.annotation)
+        if node.value is not None:
+            self._record_opcode_table([target], node.value, node.lineno)
+        self.generic_visit(node)
+
+    def _record_opcode_table(self, targets, value, lineno: int) -> None:
+        if self._function_stack or not isinstance(value, ast.Dict):
+            return
+        for target in targets:
+            if not (isinstance(target, ast.Name) and target.id.endswith("OPCODES")):
+                continue
+            entries = {}
+            for key_node in value.keys:
+                if isinstance(key_node, ast.Constant) and isinstance(
+                    key_node.value, str
+                ):
+                    entries[key_node.value] = key_node.lineno
+            self.info.opcode_tables[target.id] = entries
+            self.info.table_linenos[target.id] = lineno
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id.endswith("OPCODES")
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            enclosing = self._function_stack[-1].key if self._function_stack else None
+            self.info.opcode_refs.append(
+                OpcodeRef(node.value.id, node.slice.value, node.lineno, enclosing)
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_stack:
+            ref = call_ref(node)
+            if ref is not None:
+                self._function_stack[-1].calls.append(ref)
+        self.generic_visit(node)
+
+
+class ProjectIndex:
+    """The cross-module facts shared by every rule."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+
+    @classmethod
+    def build(cls, files: Iterable[tuple]) -> "ProjectIndex":
+        """``files`` is an iterable of (path, module, tree) triples."""
+        index = cls()
+        for path, module, tree in files:
+            info = ModuleInfo(module=module, path=path)
+            _ModuleVisitor(info).visit(tree)
+            index.modules[module] = info
+        return index
+
+    # -------------------------------------------------------- resolution
+
+    def function(self, module: str, cls: Optional[str], name: str):
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        return info.functions.get((cls, name))
+
+    def resolve_call(self, caller: FunctionInfo, ref: CallRef):
+        """The :class:`FunctionInfo` a call refers to, if it is indexable.
+
+        ``self.x(...)`` resolves within the caller's class; a bare name
+        resolves to a module-level function, a sibling nested helper, or
+        a project-relative import. Dotted calls on other objects are not
+        resolved (we do not track types).
+        """
+        if ref.kind == "self":
+            return self.function(caller.module, caller.cls, ref.name)
+        if ref.kind == "bare":
+            found = self.function(caller.module, None, ref.name) or self.function(
+                caller.module, caller.cls, ref.name
+            )
+            if found is not None:
+                return found
+            info = self.modules.get(caller.module)
+            if info is not None and ref.name in info.imports:
+                source, original = info.imports[ref.name]
+                return self.function(source, None, original)
+        return None
+
+    # ------------------------------------------------------- derived sets
+
+    def rights_checkers(self, extra_validators: Iterable[str] = ()) -> set:
+        """Fixpoint of functions that perform a rights check.
+
+        Seeded by any call whose terminal name is ``require`` (the
+        capability gate from :mod:`repro.capability`) or one of
+        ``extra_validators``; closed over project-resolvable calls, so
+        ``lookup -> lookup_set -> _open -> require`` marks all three.
+        Returns the set of :attr:`FunctionInfo.key` tuples.
+        """
+        validators = {"require", *extra_validators}
+        checkers: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for info in self.modules.values():
+                for fn in info.functions.values():
+                    if fn.key in checkers:
+                        continue
+                    for ref in fn.calls:
+                        if ref.name in validators:
+                            checkers.add(fn.key)
+                            changed = True
+                            break
+                        callee = self.resolve_call(fn, ref)
+                        if callee is not None and callee.key in checkers:
+                            checkers.add(fn.key)
+                            changed = True
+                            break
+        return checkers

@@ -1,0 +1,64 @@
+"""Text and JSON rendering of an :class:`~repro.analysis.engine.AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisResult
+from .framework import all_rules
+
+__all__ = ["render_json", "render_rule_list", "render_text"]
+
+
+def _plural(n: int, noun: str) -> str:
+    return f"{n} {noun}{'s' if n != 1 else ''}"
+
+
+def render_text(result: AnalysisResult) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [error.render() for error in result.parse_errors]
+    lines.extend(finding.render() for finding in result.findings)
+    counts: dict = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if result.clean:
+        summary = (
+            f"repro.analysis: {_plural(result.files_checked, 'file')} clean "
+            f"({_plural(len(result.rules_run), 'rule')})"
+        )
+    else:
+        by_rule = ", ".join(f"{rule} x{n}" for rule, n in sorted(counts.items()))
+        summary = (
+            f"repro.analysis: {_plural(len(result.findings), 'finding')} "
+            f"in {_plural(result.files_checked, 'file')}"
+        )
+        if by_rule:
+            summary += f" ({by_rule})"
+        if result.parse_errors:
+            summary += (
+                f"; {_plural(len(result.parse_errors), 'file')} failed to parse"
+            )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "parse_errors": [
+            {"path": e.path, "line": e.line, "message": e.message}
+            for e in result.parse_errors
+        ],
+        "clean": result.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` catalogue: id, title, and rationale."""
+    blocks = []
+    for rule in all_rules():
+        blocks.append(f"{rule.id} {rule.title}\n    {rule.rationale}")
+    return "\n".join(blocks)

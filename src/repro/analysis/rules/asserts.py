@@ -1,0 +1,55 @@
+"""A001 assert-as-validation: library errors must survive ``python -O``.
+
+``assert`` statements are compiled away under ``python -O``, and
+``AssertionError`` carries no wire-level status code, so neither belongs
+in library code paths that validate inputs or guard invariants: the RPC
+layer cannot marshal them (:mod:`repro.errors`), and an optimized
+deployment silently drops the check. Raise a :class:`repro.errors.ReproError`
+subclass with a message instead (``BadRequestError`` for inputs,
+``ConsistencyError`` for violated internal invariants). Tests are not
+scanned — pytest asserts are the idiom there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FileContext, Finding, Rule, register
+
+__all__ = ["AssertAsValidation"]
+
+
+def _raises_assertion_error(node: ast.Raise) -> bool:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "AssertionError"
+
+
+@register
+class AssertAsValidation(Rule):
+    id = "A001"
+    title = "assert-as-validation"
+    rationale = (
+        "Bare asserts vanish under python -O and AssertionError has no "
+        "wire status, so RPC clients cannot reconstruct the failure. "
+        "Raise a ReproError subclass (BadRequestError, ConsistencyError, "
+        "...) with a message."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.make(
+                    ctx, node,
+                    "bare assert is stripped under python -O; raise a "
+                    "ReproError subclass (ConsistencyError for internal "
+                    "invariants, BadRequestError for inputs)",
+                )
+            elif isinstance(node, ast.Raise) and _raises_assertion_error(node):
+                yield self.make(
+                    ctx, node,
+                    "AssertionError has no wire-level status code; raise "
+                    "a ReproError subclass instead",
+                )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..capability import Capability
-from ..errors import ReproError, ServerDownError
+from ..errors import ConsistencyError, ReproError, ServerDownError
 from .bullet_client import BulletClient
 
 __all__ = ["replicate_file", "ReplicaSetClient"]
@@ -61,7 +61,8 @@ class ReplicaSetClient:
             except ServerDownError as exc:
                 last = exc
                 continue
-        assert last is not None
+        if last is None:
+            raise ConsistencyError("failover loop ended with no error recorded")
         raise last
 
     def size(self, caps: Iterable[Capability]):
@@ -75,7 +76,8 @@ class ReplicaSetClient:
                 return (yield from self._client_for(cap).size(cap))
             except ServerDownError as exc:
                 last = exc
-        assert last is not None
+        if last is None:
+            raise ConsistencyError("failover loop ended with no error recorded")
         raise last
 
     def delete_all(self, caps: Iterable[Capability]):

@@ -23,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..errors import BadRequestError, FileTooBigError, NoSpaceError
+from ..errors import (
+    BadRequestError,
+    ConsistencyError,
+    FileTooBigError,
+    NoSpaceError,
+)
 from .freelist import ExtentFreeList
 
 __all__ = ["Rnode", "BulletCache", "CacheStats"]
@@ -273,18 +278,18 @@ class BulletCache:
         total = 0
         for rnode in placed:
             if rnode.addr < prev_end:
-                raise AssertionError("cached files overlap in the arena")
+                raise ConsistencyError("cached files overlap in the arena")
             if self._arena.is_free(rnode.addr, rnode.size):
-                raise AssertionError("rnode extent is marked free")
+                raise ConsistencyError("rnode extent is marked free")
             prev_end = rnode.addr + rnode.size
             total += rnode.size
         if total != self._arena.used_units:
-            raise AssertionError(
+            raise ConsistencyError(
                 f"arena accounting leak: rnodes hold {total} bytes, "
                 f"arena says {self._arena.used_units}"
             )
         for inode_number, rnode in self._by_inode.items():
             if rnode.inode_number != inode_number:
-                raise AssertionError("by-inode map inconsistent")
+                raise ConsistencyError("by-inode map inconsistent")
             if self._rnodes.get(rnode.number) is not rnode:
-                raise AssertionError("rnode slot map inconsistent")
+                raise ConsistencyError("rnode slot map inconsistent")

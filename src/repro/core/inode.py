@@ -162,7 +162,8 @@ class InodeTable:
             raise NoSpaceError("inode table exhausted")
         number = self._free.pop()
         inode = self._inodes[number]
-        assert inode.free, f"free list corrupt: inode {number} is live"
+        if not inode.free:
+            raise ConsistencyError(f"free list corrupt: inode {number} is live")
         inode.secret = secret
         inode.index = 0
         inode.start_block = start_block

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..disk import MirroredDiskSet, VirtualDisk
-from ..errors import BadRequestError, ServerDownError
+from ..errors import BadRequestError, ConsistencyError, ServerDownError
 from ..sim import CountOf, Environment, Event
 
 __all__ = ["replicated_file_write", "replicated_inode_write", "check_p_factor"]
@@ -47,7 +47,8 @@ def _write_one_replica(env: Environment, disk: VirtualDisk,
                        inode_block: int, inode_block_bytes: bytes):
     """Process: make one replica durable (data extent, then inode block)."""
     if data:
-        assert data_block is not None
+        if data_block is None:
+            raise ConsistencyError("replica write carries data but no data block")
         yield disk.write(data_block, data)
     yield disk.write(inode_block, inode_block_bytes)
     return disk.name

@@ -34,6 +34,7 @@ from ..capability import (
 from ..disk import MirroredDiskSet
 from ..errors import (
     BadRequestError,
+    ConsistencyError,
     FileTooBigError,
     NotFoundError,
     ReproError,
@@ -141,7 +142,9 @@ class BulletServer:
         self._booted = True
         if self.transport is not None:
             self._endpoint = self.transport.register(self.port)
-            self.env.process(self._serve())
+            # Intentional daemon fork: the service loop runs for the
+            # server's whole life; crash()/reboot ends it via _booted.
+            self.env.process(self._serve())  # repro: allow(S001)
         self._trace("bullet", f"{self.name} booted", files=self.scan_report.live_files)
         return self.scan_report
 
@@ -396,7 +399,11 @@ class BulletServer:
             self.cache.stats.misses += 1
             return None
         rnode = self.cache.get_slot(inode.index)
-        assert rnode.inode_number == number, "inode.index out of sync"
+        if rnode.inode_number != number:
+            raise ConsistencyError(
+                f"inode.index out of sync: slot {inode.index} caches inode "
+                f"{rnode.inode_number}, expected {number}"
+            )
         self.cache.stats.hits += 1
         return rnode
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional, Protocol
 
+from ..errors import ConsistencyError
+
 __all__ = ["FcfsQueue", "ElevatorQueue", "make_queue"]
 
 
@@ -65,7 +67,10 @@ class ElevatorQueue:
         if chosen is None:
             self._direction = -self._direction
             chosen = self._best_ahead(current_cylinder)
-        assert chosen is not None  # some request always exists here
+        if chosen is None:
+            # Unreachable while _pending is non-empty: one sweep
+            # direction always sees at least one request.
+            raise ConsistencyError("elevator queue found no request to serve")
         self._pending.remove(chosen)
         return chosen[2]
 

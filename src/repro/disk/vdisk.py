@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import DiskIOError
+from ..errors import ConsistencyError, DiskIOError
 from ..profiles import DiskProfile
 from ..sim import Environment, Event, Store, Tracer
 from .geometry import DiskGeometry
@@ -190,7 +190,8 @@ class VirtualDisk:
                             block=req.start_block, n=req.nblocks)
                 req.completion.succeed(payload)
             else:
-                assert req.data is not None
+                if req.data is None:
+                    raise ConsistencyError("write request carries no data")
                 self.write_raw(req.start_block, req.data)
                 self.stats.writes += 1
                 self.stats.blocks_written += req.nblocks

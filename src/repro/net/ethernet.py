@@ -56,7 +56,9 @@ class Ethernet:
         if background_load:
             if stream is None:
                 raise ValueError("background load requires a seeded stream")
-            env.process(self._background_traffic())
+            # Intentional daemon fork: seeded background traffic competes
+            # for the medium for the whole experiment, detached by design.
+            env.process(self._background_traffic())  # repro: allow(S001)
 
     @property
     def lossy(self) -> bool:

@@ -100,12 +100,18 @@ class NfsServer:
         self._booted = True
         if self.transport is not None:
             self._endpoint = self.transport.register(self.port)
-            self.env.process(self._serve())
+            # Intentional daemon fork: the service loop runs for the
+            # server's whole life; crash() ends it via _booted.
+            self.env.process(self._serve())  # repro: allow(S001)
         if self._churn:
             nfs = self.testbed.nfs
             # churn fraction/s of the cache, expressed in blocks/s.
             rate = nfs.background_cache_churn * self.cache.capacity_blocks
-            self.env.process(self.cache.churn_process(self._churn_stream, rate))
+            # Intentional daemon fork: background cache pressure runs for
+            # the whole experiment, detached by design.
+            self.env.process(  # repro: allow(S001)
+                self.cache.churn_process(self._churn_stream, rate)
+            )
         return ROOT_INUM
 
     @property

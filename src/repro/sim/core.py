@@ -30,6 +30,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..errors import ConsistencyError
+
 __all__ = [
     "Environment",
     "Event",
@@ -278,12 +280,19 @@ class _ConditionBase(Event):
         else:
             self._failed += 1
             if self._first_failure is None:
-                assert isinstance(event.value, BaseException)
+                if not isinstance(event.value, BaseException):
+                    raise ConsistencyError(
+                        f"failed event carries a non-exception value: "
+                        f"{event.value!r}"
+                    )
                 self._first_failure = event.value
         if len(self._done) >= self._need:
             self.succeed(self._collect())
         elif len(self.events) - self._failed < self._need:
-            assert self._first_failure is not None
+            if self._first_failure is None:
+                raise ConsistencyError(
+                    "condition failed without a recorded first failure"
+                )
             self.fail(self._first_failure)
 
 

@@ -1,0 +1,8 @@
+"""A001 bad fixture: asserts used as runtime validation."""
+
+
+def check(value):
+    assert value >= 0, "negative"  # line 5: stripped under -O
+    if value > 10:
+        raise AssertionError("too big")  # line 7: assert in disguise
+    return value

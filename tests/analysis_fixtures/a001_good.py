@@ -1,0 +1,13 @@
+"""A001 good fixture: validation via the ReproError hierarchy."""
+
+
+class BadRequestError(Exception):
+    pass
+
+
+def check(value):
+    if value < 0:
+        raise BadRequestError(f"negative value {value}")
+    if value > 10:
+        raise BadRequestError(f"value {value} exceeds limit 10")
+    return value

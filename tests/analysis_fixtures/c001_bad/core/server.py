@@ -1,0 +1,26 @@
+"""C001 bad fixture: an opcode handler that never checks rights.
+
+The path ends in ``core/server.py`` so the default server_scope applies.
+"""
+
+OPCODES = {"READ": 1, "DELETE": 2}
+
+
+def require(cap, rights):
+    return cap
+
+
+class Server:
+    def read(self, cap):  # line 14: handler, cap param, no require()
+        return self.table[cap.object]
+
+    def delete(self, cap):
+        require(cap, 2)
+        del self.table[cap.object]
+
+    def _dispatch(self, req):
+        if req.opcode == OPCODES["READ"]:
+            return self.read(req.cap)
+        if req.opcode == OPCODES["DELETE"]:
+            return self.delete(req.cap)
+        raise ValueError("unknown opcode")

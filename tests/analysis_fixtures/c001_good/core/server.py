@@ -1,0 +1,35 @@
+"""C001 good fixture: every cap-taking handler reaches require().
+
+``lookup`` checks transitively (lookup -> read -> _check -> require),
+and ``status`` takes no capability so it is exempt.
+"""
+
+OPCODES = {"READ": 1, "LOOKUP": 2, "STATUS": 3}
+
+
+def require(cap, rights):
+    return cap
+
+
+class Server:
+    def _check(self, cap):
+        return require(cap, 1)
+
+    def read(self, cap):
+        self._check(cap)
+        return self.table[cap.object]
+
+    def lookup(self, cap, name):
+        return self.read(cap)
+
+    def status(self):
+        return {"blocks": 0}
+
+    def _dispatch(self, req):
+        if req.opcode == OPCODES["READ"]:
+            return self.read(req.cap)
+        if req.opcode == OPCODES["LOOKUP"]:
+            return self.lookup(req.cap, req.args[0])
+        if req.opcode == OPCODES["STATUS"]:
+            return self.status()
+        raise ValueError("unknown opcode")

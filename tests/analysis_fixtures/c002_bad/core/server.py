@@ -1,0 +1,19 @@
+"""C002 bad fixture: a dead opcode and a phantom opcode.
+
+``DELETE`` is declared but never dispatched (dead); ``STAT`` is
+dispatched but never declared (missing).
+"""
+
+OPCODES = {
+    "READ": 1,
+    "DELETE": 2,  # line 9: declared, never referenced
+}
+
+
+class Server:
+    def _dispatch(self, req):
+        if req.opcode == OPCODES["READ"]:
+            return b""
+        if req.opcode == OPCODES["STAT"]:  # line 17: unknown key
+            return {}
+        raise ValueError("unknown opcode")

@@ -1,0 +1,12 @@
+"""C002 good fixture: declaration and dispatch agree exactly."""
+
+OPCODES = {"READ": 1, "DELETE": 2}
+
+
+class Server:
+    def _dispatch(self, req):
+        if req.opcode == OPCODES["READ"]:
+            return b""
+        if req.opcode == OPCODES["DELETE"]:
+            return None
+        raise ValueError("unknown opcode")

@@ -1,0 +1,9 @@
+"""D001 bad fixture: host-clock reads in simulated code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # line 8: wall-clock read
+    return datetime.now(), started  # line 9: wall-clock read

@@ -1,0 +1,9 @@
+"""D001 good fixture: simulated components read env.now only."""
+
+
+def stamp(env):
+    return env.now
+
+
+def elapsed(env, since):
+    return env.now - since

@@ -1,0 +1,19 @@
+"""D002 bad fixture: process-global randomness."""
+
+import random  # line 3: module import
+
+import os
+import uuid
+
+
+def draw():
+    noise = random.random()  # line 10: attribute use
+    salt = os.urandom(8)  # line 11: os.urandom
+    tag = uuid.uuid4()  # line 12: uuid4
+    return noise, salt, tag
+
+
+def shuffle_from():
+    from random import shuffle  # line 17: from-import
+
+    return shuffle

@@ -1,0 +1,11 @@
+"""D002 good fixture: randomness drawn from a seeded stream."""
+
+from repro.sim.rng import SeededStream
+
+
+def draw(stream: SeededStream):
+    return stream.random()
+
+
+def pick(stream: SeededStream, items):
+    return items[stream.randrange(len(items))]

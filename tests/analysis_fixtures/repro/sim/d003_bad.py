@@ -1,0 +1,21 @@
+"""D003 bad fixture: hash-ordered iteration in replay-core code.
+
+Lives under a ``repro/sim/`` path so the default ordered_scope applies.
+"""
+
+
+class Registry:
+    members: set
+
+    def drain(self, ready: set):
+        out = []
+        for item in ready:  # line 12: annotated set parameter
+            out.append(item)
+        for item in {3, 1, 2}:  # line 14: set literal
+            out.append(item)
+        pending = set()
+        for item in pending:  # line 17: local assigned set()
+            out.append(item)
+        for member in self.members:  # line 19: annotated class attribute
+            out.append(member)
+        return out, list(ready)  # line 21: list(set)

@@ -1,0 +1,17 @@
+"""D003 good fixture: deterministic consumption of sets."""
+
+
+def drain(ready: set, names: "set[str]"):
+    ordered = []
+    for item in sorted(ready):  # sorted: deterministic
+        ordered.append(item)
+    for name in names:  # set[str]: exempt by policy
+        ordered.append(name)
+    total = sum(x for x in ready)  # order-insensitive reduction
+    biggest = max(ready)
+    return ordered, total, biggest
+
+
+def route(table: dict):
+    for key in table:  # dicts preserve insertion order: exempt
+        yield table[key]

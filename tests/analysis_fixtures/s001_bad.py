@@ -1,0 +1,20 @@
+"""S001 bad fixture: processes created (or not) but never driven."""
+
+
+def worker(env):
+    yield env.timeout(1)
+
+
+def boot(env):
+    worker(env)  # line 9: generator instantiated, never runs
+    env.process(worker(env))  # line 10: un-awaited fork
+    yield env.timeout(0)
+
+
+class Server:
+    def _serve(self):
+        yield self.env.timeout(1)
+
+    def start(self):
+        self._serve()  # line 19: method generator never runs
+        self.env.process(self._serve())  # line 20: un-awaited fork

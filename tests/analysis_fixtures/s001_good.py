@@ -1,0 +1,13 @@
+"""S001 good fixture: every process is yielded, stored, or delegated."""
+
+
+def worker(env):
+    yield env.timeout(1)
+
+
+def boot(env):
+    yield from worker(env)
+    result = yield env.process(worker(env))
+    handle = env.process(worker(env))  # stored: caller can await it
+    yield handle
+    return result

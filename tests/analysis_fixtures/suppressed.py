@@ -1,0 +1,21 @@
+"""Suppression fixture: violations silenced by `# repro: allow(...)`.
+
+The analyzer must report nothing for this file.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow(D001)
+
+
+def worker(env):
+    yield env.timeout(1)
+
+
+def boot(env):
+    # repro: allow(S001)
+    env.process(worker(env))
+    worker(env)  # repro: allow(S001, D001)
+    yield env.timeout(0)
