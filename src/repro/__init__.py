@@ -65,8 +65,16 @@ from .core import (
     render_layout,
     scan_volume,
 )
+from .client.retry import Retrier, RetryPolicy
 from .directory import DirectoryServer
-from .disk import FaultInjector, MirroredDiskSet, VirtualDisk
+from .disk import MirroredDiskSet, VirtualDisk
+from .faults import (
+    FaultController,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    arm_fail_after_writes,
+)
 from .errors import (
     BadRequestError,
     CapabilityError,
@@ -117,15 +125,19 @@ __all__ = [
     "mint_owner", "port_for_name", "restrict", "verify",
     # clients
     "BulletClient", "CachingBulletClient", "DirectoryClient",
-    "LocalBulletStub", "ReplicaSetClient", "replicate_file",
+    "LocalBulletStub", "ReplicaSetClient", "Retrier", "RetryPolicy",
+    "replicate_file",
     # core
     "BulletCache", "BulletServer", "ExtentFreeList", "Inode", "InodeTable",
     "ScanReport", "VolumeLayout", "compact_disk", "nightly_compaction",
     "render_layout", "scan_volume",
     # servers
     "DirectoryServer", "LogServer", "NfsClient", "NfsServer", "UnixEmulation",
+    # fault plane
+    "FaultController", "FaultEvent", "FaultInjector", "FaultPlan",
+    "arm_fail_after_writes",
     # substrate
-    "FaultInjector", "MirroredDiskSet", "VirtualDisk",
+    "MirroredDiskSet", "VirtualDisk",
     "Ethernet", "RpcReply", "RpcRequest", "RpcTransport",
     "Gateway", "WideAreaLink", "WideAreaProfile", "connect_sites",
     "Environment", "SeededStream", "Tracer", "run_process",

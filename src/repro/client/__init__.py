@@ -1,8 +1,10 @@
-"""Client library (S12): Bullet stubs and client-side caching."""
+"""Client library (S12): Bullet stubs, caching, and retry/backoff."""
 
 from .bullet_client import BulletClient, CachingBulletClient, LocalBulletStub
 from .directory_client import DirectoryClient
 from .replication import ReplicaSetClient, replicate_file
+from .retry import TRANSIENT_ERRORS, Retrier, RetryPolicy
 
 __all__ = ["BulletClient", "CachingBulletClient", "DirectoryClient",
-           "LocalBulletStub", "ReplicaSetClient", "replicate_file"]
+           "LocalBulletStub", "ReplicaSetClient", "Retrier", "RetryPolicy",
+           "TRANSIENT_ERRORS", "replicate_file"]

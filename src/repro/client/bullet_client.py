@@ -28,24 +28,55 @@ from ..capability import Capability
 from ..core import OPCODES, BulletServer
 from ..errors import error_for_status
 from ..net import RpcRequest, RpcTransport
+from ..sim import SeededStream, Tracer
+from .retry import Retrier, RetryPolicy
 
 __all__ = ["BulletClient", "LocalBulletStub", "CachingBulletClient"]
 
 
 class BulletClient:
-    """RPC stub for the Bullet protocol."""
+    """RPC stub for the Bullet protocol.
+
+    With a :class:`~repro.client.retry.RetryPolicy`, calls retry on
+    transient errors: idempotent ops (READ/SIZE/STAT/RESTRICT) freely,
+    mutating ops (CREATE/MODIFY/DELETE) under the txid dedupe guard —
+    the request's transaction id is pre-assigned and the same request is
+    re-sent, so the server's reply cache suppresses duplicate execution.
+    """
 
     def __init__(self, env, rpc: RpcTransport, server_port: int,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_stream: Optional[SeededStream] = None,
+                 tracer: Optional[Tracer] = None):
         self.env = env
         self.rpc = rpc
         self.port = server_port
         self.timeout = timeout
+        self.retrier = (Retrier(env, retry, retry_stream, tracer)
+                        if retry is not None else None)
 
-    def _call(self, request: RpcRequest):
-        reply = yield self.env.process(
-            self.rpc.trans(self.port, request, timeout=self.timeout)
-        )
+    def _call(self, request: RpcRequest, idempotent: bool = True):
+        if self.retrier is None:
+            reply = yield self.env.process(
+                self.rpc.trans(self.port, request, timeout=self.timeout)
+            )
+        else:
+            if not idempotent:
+                # Dedupe guard: fix the txid now so every retry is a
+                # duplicate of the same transaction, not a new one.
+                request.txid = self.rpc.new_txid()
+
+            def attempt():
+                reply = yield self.env.process(
+                    self.rpc.trans(self.port, request, timeout=self.timeout)
+                )
+                return reply
+
+            reply = yield from self.retrier.run(
+                attempt, op=f"bullet[{request.opcode}]",
+                idempotent=idempotent, dedupe=not idempotent,
+            )
         if not reply.ok:
             raise error_for_status(reply.status, reply.message)
         return reply
@@ -54,7 +85,8 @@ class BulletClient:
         """Process: BULLET.CREATE; returns the owner capability."""
         args = (p_factor,) if p_factor is not None else ()
         reply = yield from self._call(
-            RpcRequest(opcode=OPCODES["CREATE"], args=args, body=bytes(data))
+            RpcRequest(opcode=OPCODES["CREATE"], args=args, body=bytes(data)),
+            idempotent=False,
         )
         return reply.caps[0]
 
@@ -70,7 +102,8 @@ class BulletClient:
 
     def delete(self, cap: Capability):
         """Process: BULLET.DELETE."""
-        yield from self._call(RpcRequest(opcode=OPCODES["DELETE"], cap=cap))
+        yield from self._call(RpcRequest(opcode=OPCODES["DELETE"], cap=cap),
+                              idempotent=False)
 
     def modify(self, cap: Capability, offset: int, delete_bytes: int,
                insert_data: bytes, p_factor: Optional[int] = None):
@@ -81,7 +114,8 @@ class BulletClient:
                 cap=cap,
                 args=(offset, delete_bytes, p_factor),
                 body=bytes(insert_data),
-            )
+            ),
+            idempotent=False,
         )
         return reply.caps[0]
 

@@ -14,7 +14,9 @@ from typing import Iterable, Optional
 
 from ..capability import Capability
 from ..errors import ConsistencyError, ReproError, ServerDownError
+from ..sim import SeededStream, Tracer
 from .bullet_client import BulletClient
+from .retry import TRANSIENT_ERRORS, RetryPolicy
 
 __all__ = ["replicate_file", "ReplicaSetClient"]
 
@@ -29,25 +31,37 @@ def replicate_file(src_stub, dst_stub, cap: Capability,
 
 
 class ReplicaSetClient:
-    """Reads from capability sets: first live replica wins."""
+    """Reads from capability sets: first live replica wins.
 
-    def __init__(self, env, rpc, timeout: float = 2.0):
+    Transient errors (server down, RPC timeout — the shared
+    :data:`~repro.client.retry.TRANSIENT_ERRORS` classification) trigger
+    failover to the next member; a genuine server error (bad capability)
+    is raised immediately, because every replica would answer the same
+    way. With a :class:`~repro.client.retry.RetryPolicy`, each member is
+    additionally retried with backoff before moving on — failover and
+    retry compose.
+    """
+
+    def __init__(self, env, rpc, timeout: float = 2.0,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_stream: Optional[SeededStream] = None,
+                 tracer: Optional[Tracer] = None):
         self.env = env
         self.rpc = rpc
         self.timeout = timeout
+        self.retry = retry
+        self.retry_stream = retry_stream
+        self._tracer = tracer
         self.failovers = 0
 
     def _client_for(self, cap: Capability) -> BulletClient:
-        return BulletClient(self.env, self.rpc, cap.port, timeout=self.timeout)
+        return BulletClient(self.env, self.rpc, cap.port,
+                            timeout=self.timeout, retry=self.retry,
+                            retry_stream=self.retry_stream,
+                            tracer=self._tracer)
 
     def read(self, caps: Iterable[Capability]):
-        """Process: the file's bytes from the first reachable replica.
-
-        Tries the members in order; a member only counts as failed on a
-        transport-level error (server down / timeout) — a genuine server
-        error (bad capability) is raised immediately, because every
-        replica would answer the same way.
-        """
+        """Process: the file's bytes from the first reachable replica."""
         caps = list(caps)
         if not caps:
             raise ServerDownError("empty capability set")
@@ -58,8 +72,10 @@ class ReplicaSetClient:
                 if index > 0:
                     self.failovers += 1
                 return data
-            except ServerDownError as exc:
+            except TRANSIENT_ERRORS as exc:
                 last = exc
+                self._trace(f"replica {index} unreachable, failing over",
+                            error=type(exc).__name__)
                 continue
         if last is None:
             raise ConsistencyError("failover loop ended with no error recorded")
@@ -74,7 +90,7 @@ class ReplicaSetClient:
         for cap in caps:
             try:
                 return (yield from self._client_for(cap).size(cap))
-            except ServerDownError as exc:
+            except TRANSIENT_ERRORS as exc:
                 last = exc
         if last is None:
             raise ConsistencyError("failover loop ended with no error recorded")
@@ -88,6 +104,10 @@ class ReplicaSetClient:
             try:
                 yield from self._client_for(cap).delete(cap)
                 deleted += 1
-            except ServerDownError:
+            except TRANSIENT_ERRORS:
                 continue
         return deleted
+
+    def _trace(self, message: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit("retry", message, **fields)

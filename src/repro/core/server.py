@@ -41,7 +41,7 @@ from ..errors import (
 )
 from ..net import RpcReply, RpcRequest, RpcTransport
 from ..profiles import Testbed
-from ..sim import Environment, SeededStream, Tracer
+from ..sim import Environment, Interrupt, SeededStream, Tracer
 from .cache import BulletCache
 from .freelist import ExtentFreeList
 from .inode import InodeTable
@@ -94,6 +94,7 @@ class BulletServer:
         self._verified_caps: set[tuple[int, int, int]] = set()
         self._lives: dict[int, int] = {}
         self._endpoint = None
+        self._serve_proc = None
         self._booted = False
         # Set by boot():
         self.table: InodeTable
@@ -142,19 +143,29 @@ class BulletServer:
         self._booted = True
         if self.transport is not None:
             self._endpoint = self.transport.register(self.port)
-            # Intentional daemon fork: the service loop runs for the
-            # server's whole life; crash()/reboot ends it via _booted.
-            self.env.process(self._serve())  # repro: allow(S001)
+            # The service loop runs for the server's whole life;
+            # crash() interrupts it (and a reboot starts a fresh one).
+            self._serve_proc = self.env.process(self._serve())
         self._trace("bullet", f"{self.name} booted", files=self.scan_report.live_files)
         return self.scan_report
 
     def crash(self) -> None:
         """Stop serving and lose all volatile state (RAM cache, verified-
-        capability cache). Durable state stays on the disks."""
+        capability cache). Durable state stays on the disks.
+
+        The service loop is interrupted even mid-request, like a real
+        power failure: a half-performed CREATE leaves whatever it had
+        already written durably on disk (the crash-consistency story).
+        """
         if self._endpoint is not None:
             self._endpoint.crash()
         self._booted = False
         self._verified_caps.clear()
+        proc = self._serve_proc
+        if (proc is not None and proc.is_alive
+                and proc is not self.env.active_process):
+            proc.interrupt("server crash")
+        self._serve_proc = None
 
     # --------------------------------------------------------- local API
 
@@ -440,16 +451,22 @@ class BulletServer:
 
     def _serve(self):
         """The single-threaded service loop (§3: the implementation is
-        deliberately simple; one request is handled at a time)."""
-        endpoint = self._endpoint
-        while self._booted and endpoint is self._endpoint:
-            req = yield endpoint.getreq()
-            try:
-                reply = yield from self._dispatch(req)
-            except ReproError as exc:
-                self.stats.errors += 1
-                reply = RpcTransport.reply_for_error(exc)
-            yield self.env.process(endpoint.putrep(req, reply))
+        deliberately simple; one request is handled at a time).
+
+        crash() interrupts the loop wherever it is — waiting for a
+        request or halfway through serving one."""
+        try:
+            endpoint = self._endpoint
+            while self._booted and endpoint is self._endpoint:
+                req = yield endpoint.getreq()
+                try:
+                    reply = yield from self._dispatch(req)
+                except ReproError as exc:
+                    self.stats.errors += 1
+                    reply = RpcTransport.reply_for_error(exc)
+                yield self.env.process(endpoint.putrep(req, reply))
+        except Interrupt:
+            return
 
     def _dispatch(self, req: RpcRequest):
         op = req.opcode

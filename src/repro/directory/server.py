@@ -43,7 +43,7 @@ from ..errors import (
 )
 from ..net import RpcReply, RpcRequest, RpcTransport
 from ..profiles import Testbed
-from ..sim import Environment, SeededStream, Tracer
+from ..sim import Environment, Interrupt, SeededStream, Tracer
 from .records import DirectoryRows, SlotRecord
 
 __all__ = ["DirectoryServer", "DIR_OPCODES"]
@@ -108,6 +108,7 @@ class DirectoryServer:
         self._free_slots: list[int] = []
         self._booted = False
         self._endpoint = None
+        self._serve_proc = None
 
     # -------------------------------------------------------------- setup
 
@@ -138,19 +139,25 @@ class DirectoryServer:
         self._booted = True
         if self.transport is not None:
             self._endpoint = self.transport.register(self.port)
-            # Intentional daemon fork: the service loop runs for the
-            # server's whole life; crash() ends it via _booted.
-            self.env.process(self._serve())  # repro: allow(S001)
+            # The service loop runs for the server's whole life;
+            # crash() interrupts it (and a reboot starts a fresh one).
+            self._serve_proc = self.env.process(self._serve())
         self._trace("directory", f"{self.name} booted",
                     dirs=sum(1 for s in self._slots if s.in_use))
         return sum(1 for s in self._slots if s.in_use)
 
     def crash(self) -> None:
-        """Stop serving and drop volatile state (rows cache)."""
+        """Stop serving and drop volatile state (rows cache). The
+        service loop is interrupted even mid-request."""
         if self._endpoint is not None:
             self._endpoint.crash()
         self._booted = False
         self._rows_cache.clear()
+        proc = self._serve_proc
+        if (proc is not None and proc.is_alive
+                and proc is not self.env.active_process):
+            proc.interrupt("server crash")
+        self._serve_proc = None
 
     # ----------------------------------------------------------- local API
 
@@ -402,14 +409,17 @@ class DirectoryServer:
     # ------------------------------------------------------------ RPC plane
 
     def _serve(self):
-        endpoint = self._endpoint
-        while self._booted and endpoint is self._endpoint:
-            req = yield endpoint.getreq()
-            try:
-                reply = yield from self._dispatch(req)
-            except ReproError as exc:
-                reply = RpcTransport.reply_for_error(exc)
-            yield self.env.process(endpoint.putrep(req, reply))
+        try:
+            endpoint = self._endpoint
+            while self._booted and endpoint is self._endpoint:
+                req = yield endpoint.getreq()
+                try:
+                    reply = yield from self._dispatch(req)
+                except ReproError as exc:
+                    reply = RpcTransport.reply_for_error(exc)
+                yield self.env.process(endpoint.putrep(req, reply))
+        except Interrupt:
+            return
 
     def _dispatch(self, req: RpcRequest):
         op = req.opcode

@@ -1,50 +1,12 @@
-"""Fault injection for availability experiments (A6).
+"""Compatibility shim: the fault-injection API moved to ``repro.faults``.
 
-Failures are scheduled deterministically (at a simulated time or after a
-number of operations), so availability experiments replay exactly.
+The unified fault plane (:mod:`repro.faults`) subsumes the disk-only
+injector that used to live here; existing imports of
+``repro.disk.faults.FaultInjector`` keep working.
 """
 
 from __future__ import annotations
 
-from ..sim import Environment
-from .vdisk import VirtualDisk
+from ..faults.injector import FaultInjector
 
 __all__ = ["FaultInjector"]
-
-
-class FaultInjector:
-    """Schedules disk failures."""
-
-    def __init__(self, env: Environment):
-        self.env = env
-
-    def fail_at(self, disk: VirtualDisk, when: float, reason: str = "timed fault"):
-        """Kill ``disk`` at absolute simulated time ``when``."""
-        if when < self.env.now:
-            raise ValueError(f"fault time {when} is in the past")
-
-        def killer():
-            yield self.env.timeout(when - self.env.now)
-            disk.fail(reason)
-
-        return self.env.process(killer())
-
-    def fail_after_writes(self, disk: VirtualDisk, writes: int,
-                          reason: str = "write-count fault"):
-        """Kill ``disk`` once it has completed ``writes`` more writes.
-
-        Polls the disk's stats each time the simulation advances; the
-        check granularity is one disk operation, which is exact for the
-        single-arm disk model.
-        """
-        threshold = disk.stats.writes + writes
-
-        def watcher():
-            while disk.stats.writes < threshold and not disk.failed:
-                # Wake after every potential operation completion; the
-                # shortest disk op is bounded below by the settle time.
-                yield self.env.timeout(disk.profile.seek_settle / 2)
-            if not disk.failed:
-                disk.fail(reason)
-
-        return self.env.process(watcher())

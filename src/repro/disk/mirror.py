@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..errors import DiskIOError, ServerDownError
+from ..errors import ConsistencyError, DiskIOError, ServerDownError
 from ..sim import CountOf, Environment, Event, Tracer
 from .vdisk import VirtualDisk
 
@@ -74,16 +74,37 @@ class MirroredDiskSet:
     def read_with_failover(self, start_block: int, nblocks: int):
         """A *process* (yield ``env.process(...)``) that reads from the
         primary and transparently retries on the next replica if the
-        primary dies mid-operation — the paper's "proceed uninterruptedly".
+        primary fails — the paper's "proceed uninterruptedly".
+
+        Each replica is tried at most once per call: a persistent media
+        error (an injected flaky extent) on a still-live disk escalates
+        after every replica has had its chance, instead of hammering the
+        same arm forever.
         """
+        last: Optional[DiskIOError] = None
+        tried: list[VirtualDisk] = []
         while True:
-            disk = self.primary  # raises ServerDownError when none left
+            disk = None
+            for candidate in self.disks:
+                if not candidate.failed and candidate not in tried:
+                    disk = candidate
+                    break
+            if disk is None:
+                break
+            tried.append(disk)
             try:
                 data = yield disk.read(start_block, nblocks)
                 return data
-            except DiskIOError:
+            except DiskIOError as exc:
+                last = exc
                 self._trace("mirror", f"failover away from {disk.name}")
                 continue
+        if not self.live_disks:
+            raise ServerDownError("all disk replicas have failed")
+        if last is None:
+            raise ConsistencyError("failover loop ran out of replicas "
+                                   "without an error")
+        raise last
 
     def write(self, start_block: int, data: bytes, need: Optional[int] = None) -> Event:
         """Write ``data`` to every live replica.

@@ -18,7 +18,7 @@ Two access planes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import ConsistencyError, DiskIOError
 from ..profiles import DiskProfile
@@ -83,6 +83,12 @@ class VirtualDisk:
         self._wakeups: Store = Store(env)
         self._current_cylinder = 0
         self._failed = False
+        # Fault-plane injection seams (see repro.faults): a service-time
+        # multiplier, a set of blocks that return media errors, and
+        # completion hooks that fire after each successful operation.
+        self._slowdown = 1.0
+        self._flaky_blocks: set[int] = set()
+        self._op_hooks: list[Callable[[str], None]] = []
         self._server = env.process(self._serve())
 
     # ------------------------------------------------------------ state
@@ -119,11 +125,52 @@ class VirtualDisk:
 
     def repair(self) -> None:
         """Bring a failed disk back (blank state is preserved as-is;
-        callers decide whether a recovery copy is needed)."""
+        callers decide whether a recovery copy is needed). Repair models
+        a drive swap, so injected media faults and degradation clear."""
         if not self._failed:
             return
         self._failed = False
+        self._slowdown = 1.0
+        self._flaky_blocks.clear()
         self._trace("fault", f"{self.name} repaired")
+
+    # --------------------------------------------- fault injection seams
+
+    def set_slowdown(self, factor: float) -> None:
+        """Multiply every access time by ``factor`` (a degraded drive
+        retrying internally); ``1.0`` restores nominal speed."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor}")
+        self._slowdown = factor
+
+    def mark_flaky(self, start_block: int, nblocks: int) -> None:
+        """Make ``nblocks`` blocks from ``start_block`` return media
+        errors on any timed access that touches them."""
+        self.geometry._check_extent(start_block, nblocks)
+        self._flaky_blocks.update(range(start_block, start_block + nblocks))
+
+    def clear_flaky(self, start_block: int, nblocks: int) -> None:
+        """Heal a previously marked flaky extent."""
+        for block in range(start_block, start_block + nblocks):
+            self._flaky_blocks.discard(block)
+
+    def add_op_hook(self, hook: Callable[[str], None]) -> None:
+        """Register ``hook(kind)`` to run synchronously after each
+        *successful* operation completes (kind is "read" or "write").
+        This is how write-count faults fire exactly, without polling."""
+        self._op_hooks.append(hook)
+
+    def remove_op_hook(self, hook: Callable[[str], None]) -> None:
+        """Deregister a completion hook (missing hooks are ignored)."""
+        if hook in self._op_hooks:
+            self._op_hooks.remove(hook)
+
+    def _flaky_extent(self, start_block: int, nblocks: int) -> bool:
+        if not self._flaky_blocks:
+            return False
+        return any(
+            start_block + i in self._flaky_blocks for i in range(nblocks)
+        )
 
     # ------------------------------------------------------- timed plane
 
@@ -168,7 +215,7 @@ class VirtualDisk:
                 continue  # request was drained by fail()
             duration = self.geometry.access_time(
                 self._current_cylinder, req.start_block, req.nblocks
-            )
+            ) * self._slowdown
             yield self.env.timeout(duration)
             if self.geometry.cylinder_of(req.start_block) != self._current_cylinder:
                 self.stats.seeks += 1
@@ -181,6 +228,15 @@ class VirtualDisk:
                     req.completion.fail(
                         DiskIOError(f"{self.name} died mid-operation")
                     )
+                continue
+            if self._flaky_extent(req.start_block, req.nblocks):
+                self._trace("fault", f"{self.name} media error",
+                            block=req.start_block, n=req.nblocks)
+                if not req.completion.triggered:
+                    req.completion.fail(DiskIOError(
+                        f"{self.name} unrecoverable media error in blocks "
+                        f"[{req.start_block}, {req.start_block + req.nblocks})"
+                    ))
                 continue
             if req.kind == "read":
                 payload = self.read_raw(req.start_block, req.nblocks)
@@ -198,6 +254,11 @@ class VirtualDisk:
                 self._trace("disk", f"{self.name} write",
                             block=req.start_block, n=req.nblocks)
                 req.completion.succeed(None)
+            # Completion hooks run after the op is accounted, so a
+            # write-count fault armed for the Nth write kills the disk
+            # with the Nth write durable and nothing after it.
+            for hook in list(self._op_hooks):
+                hook(req.kind)
 
     # --------------------------------------------------------- raw plane
 

@@ -51,6 +51,13 @@ class Ethernet:
         self._medium = Resource(env, capacity=1)
         self._tracer = tracer
         self._stream = stream
+        # Fault-plane injection seams (see repro.faults): a partition
+        # drops every fragment, a loss window drops a seeded fraction,
+        # a latency spike charges extra time per fragment.
+        self._fault_partitioned = False
+        self._fault_loss = 0.0
+        self._fault_loss_stream: Optional[SeededStream] = None
+        self._fault_extra_latency = 0.0
         if profile.loss_probability > 0 and stream is None:
             raise ValueError("packet loss requires a seeded stream")
         if background_load:
@@ -62,7 +69,43 @@ class Ethernet:
 
     @property
     def lossy(self) -> bool:
-        return self.profile.loss_probability > 0
+        """True when fragments can currently be lost — by the profile's
+        steady-state loss or by an injected partition/loss window. The
+        RPC layer consults this to arm its retransmission machinery."""
+        return (
+            self.profile.loss_probability > 0
+            or self._fault_partitioned
+            or self._fault_loss > 0
+        )
+
+    def set_fault(
+        self,
+        partitioned: Optional[bool] = None,
+        loss: Optional[float] = None,
+        loss_stream: Optional[SeededStream] = None,
+        extra_latency: Optional[float] = None,
+    ) -> None:
+        """Adjust the injected fault state (None leaves a knob alone).
+
+        ``loss`` > 0 requires a seeded stream (passed here or earlier)
+        so the drop pattern replays deterministically; the stream is
+        separate from the profile's, so injecting a window does not
+        perturb background traffic or steady-state loss draws.
+        """
+        if partitioned is not None:
+            self._fault_partitioned = bool(partitioned)
+        if loss_stream is not None:
+            self._fault_loss_stream = loss_stream
+        if loss is not None:
+            if not 0.0 <= loss <= 1.0:
+                raise ValueError(f"loss probability must be in [0, 1], got {loss}")
+            if loss > 0 and self._fault_loss_stream is None:
+                raise ValueError("injected packet loss requires a seeded stream")
+            self._fault_loss = loss
+        if extra_latency is not None:
+            if extra_latency < 0:
+                raise ValueError(f"extra latency must be >= 0, got {extra_latency}")
+            self._fault_extra_latency = extra_latency
 
     def packets_for(self, nbytes: int) -> int:
         """How many packets a message of ``nbytes`` fragments into."""
@@ -123,13 +166,30 @@ class Ethernet:
             wire = self.profile.wire_time(chunk)
             yield self.env.timeout(wire)
             self._medium.release(grant)
+            if self._fault_extra_latency > 0:
+                # Injected latency spike: charged outside the medium so
+                # other hosts still interleave.
+                yield self.env.timeout(self._fault_extra_latency)
             self.stats.packets += 1
             self.stats.payload_bytes += chunk
             self.stats.wire_time += wire
-            if self.lossy and self._stream.random() < self.profile.loss_probability:
+            if self._fragment_lost():
                 self.stats.lost_packets += 1
                 lost.append(index)
         return lost
+
+    def _fragment_lost(self) -> bool:
+        """Loss decision for one fragment: partition drops everything,
+        then the injected loss window, then the profile's steady loss.
+        Draws come from the respective streams only when that source is
+        active, so fault windows never perturb the profile's stream."""
+        if self._fault_partitioned:
+            return True
+        if (self._fault_loss > 0
+                and self._fault_loss_stream.random() < self._fault_loss):
+            return True
+        p = self.profile.loss_probability
+        return p > 0 and self._stream.random() < p
 
     @property
     def medium_queue_length(self) -> int:

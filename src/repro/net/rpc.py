@@ -190,6 +190,19 @@ class RpcTransport:
         """The endpoint registered on ``port``, if any (locate step)."""
         return self._ports.get(port)
 
+    def new_txid(self) -> int:
+        """Mint a transaction id up front.
+
+        Normally :meth:`trans` assigns txids itself, but a client that
+        wants to *re-run* a non-idempotent transaction (a CREATE whose
+        reply was lost) pre-assigns one and reuses the request object:
+        every resend then carries the same txid, so the server's
+        duplicate suppression turns the retry into an idempotent
+        reply-replay instead of a second execution.
+        """
+        self._txid += 1
+        return self._txid
+
     def trans(self, port: int, request: RpcRequest,
               timeout: Optional[float] = None):
         """A process performing one transaction: send ``request`` to
@@ -229,8 +242,8 @@ class RpcTransport:
         # the endpoint).
         yield self.env.timeout(len(request.body) * self.cpu.memcpy_per_byte)
         request.reply_event = Event(self.env)
-        self._txid += 1
-        request.txid = self._txid
+        if request.txid is None:
+            request.txid = self.new_txid()
         deadline = self.env.now + timeout if timeout is not None else None
         attempts = 0
         missing = None           # fragment indices still to deliver

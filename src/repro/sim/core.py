@@ -188,7 +188,13 @@ class Process(Event):
         # Ignore stale wakeups: an interrupt may arrive while we were
         # waiting on another event; when that event later fires we must
         # not resume twice off of it if the generator already terminated.
+        # A failure delivered to a dead waiter counts as observed — the
+        # process that would have handled it was interrupted (a crashed
+        # server's in-flight disk write failing later must not surface
+        # as an unhandled error from nowhere).
         if self.triggered:
+            if not event._ok:
+                event._defused = True
             return
         self.env._active = self
         try:

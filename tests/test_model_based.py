@@ -126,3 +126,86 @@ def test_bullet_server_matches_reference_model(script):
     for cap, expected in model.items():
         assert run_process(env, reborn.read(cap)) == expected
     check_invariants(reborn)
+
+
+crash_steps = st.builds(
+    Step,
+    kind=st.sampled_from(["create", "read", "delete", "modify", "crash"]),
+    size=st.integers(min_value=0, max_value=8 * KB),
+    target=st.integers(min_value=0, max_value=1 << 16),
+    offset=st.integers(min_value=0, max_value=8 * KB),
+    delete_bytes=st.integers(min_value=0, max_value=2 * KB),
+)
+
+
+@given(script=st.lists(crash_steps, max_size=25))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_bullet_server_survives_random_crash_restart(script):
+    """Crash/restart as a first-class transition: at any point the
+    server may lose all volatile state and reboot from its disks. After
+    every restart the scan-on-startup invariants must hold and the
+    durable contents must match the model exactly (all files written
+    with P-FACTOR 2, so the reply implied durability on both disks)."""
+    env = Environment()
+    bullet = make_bullet(env)
+    model: dict = {}  # Capability -> bytes
+    content_counter = 0
+
+    def pick(step):
+        caps = sorted(model, key=lambda c: c.object)
+        return caps[step.target % len(caps)] if caps else None
+
+    for step in script:
+        cap = pick(step)
+        if step.kind == "crash":
+            bullet.crash()
+            reborn = BulletServer(env, bullet.mirror, bullet.testbed,
+                                  name="bullet")
+            report = env.run(until=env.process(reborn.boot()))
+            # Scan-on-startup invariants after this crash point:
+            assert report.live_files == len(model)
+            assert not report.quarantined
+            check_invariants(reborn)
+            bullet = reborn
+            # RAM cache died with the old incarnation; everything must
+            # still be readable straight from disk.
+            for c, expected in model.items():
+                assert run_process(env, bullet.read(c)) == expected
+            continue
+        if step.kind == "create":
+            content_counter += 1
+            payload = (content_counter.to_bytes(4, "big")
+                       * (step.size // 4 + 1))[: step.size]
+            try:
+                new_cap = run_process(env, bullet.create(payload, 2))
+            except NoSpaceError:
+                continue
+            model[new_cap] = payload
+        elif step.kind == "read":
+            if cap is None:
+                continue
+            assert run_process(env, bullet.read(cap)) == model[cap]
+        elif step.kind == "delete":
+            if cap is None:
+                continue
+            run_process(env, bullet.delete(cap))
+            del model[cap]
+        elif step.kind == "modify":
+            if cap is None:
+                continue
+            old = model[cap]
+            offset = step.offset % (len(old) + 1)
+            delete_bytes = min(step.delete_bytes, len(old) - offset)
+            try:
+                new_cap = run_process(env, bullet.modify(
+                    cap, offset, delete_bytes, b"CRASHMOD", 2))
+            except NoSpaceError:
+                continue
+            model[new_cap] = old[:offset] + b"CRASHMOD" + old[offset + delete_bytes:]
+        check_invariants(bullet)
+
+    # Final incarnation still agrees with the model.
+    for cap, expected in model.items():
+        assert run_process(env, bullet.read(cap)) == expected
+    check_invariants(bullet)
