@@ -24,6 +24,7 @@ from ..disk import MirroredDiskSet, VirtualDisk
 from ..errors import BadRequestError, ConsistencyError
 from ..net import Ethernet, RpcTransport
 from ..nfs import NfsClient, NfsServer
+from ..obs import MetricsRegistry
 from ..profiles import DEFAULT_TESTBED, Testbed
 from ..sim import Environment, SeededStream, run_process
 from ..units import KB
@@ -50,6 +51,7 @@ class Rig:
     ethernet: Ethernet
     rpc: RpcTransport
     seed: int
+    metrics: Optional[MetricsRegistry] = None
     bullet: Optional[BulletServer] = None
     bullet_client: Optional[BulletClient] = None
     nfs: Optional[NfsServer] = None
@@ -60,28 +62,40 @@ def make_rig(seed: int = 1989, testbed: Testbed = DEFAULT_TESTBED,
              background_load: bool = True, with_bullet: bool = True,
              with_nfs: bool = True, nfs_churn: bool = True,
              bullet_disks: int = 2, cache_policy: str = "lru") -> Rig:
-    """Build the §4 testbed (or a subset of it)."""
+    """Build the §4 testbed (or a subset of it).
+
+    Every component shares one :class:`~repro.obs.MetricsRegistry`
+    (``rig.metrics``), so a single export covers the whole testbed.
+    """
     env = Environment()
+    metrics = MetricsRegistry()
     ethernet = Ethernet(
         env, testbed.ethernet,
         stream=SeededStream(seed, "ethernet") if background_load else None,
         background_load=background_load,
+        metrics=metrics,
     )
-    rpc = RpcTransport(env, ethernet, testbed.cpu)
-    rig = Rig(env=env, testbed=testbed, ethernet=ethernet, rpc=rpc, seed=seed)
+    rpc = RpcTransport(env, ethernet, testbed.cpu, metrics=metrics)
+    rig = Rig(env=env, testbed=testbed, ethernet=ethernet, rpc=rpc, seed=seed,
+              metrics=metrics)
     if with_bullet:
-        disks = [VirtualDisk(env, testbed.disk, name=f"bullet-d{i}")
+        disks = [VirtualDisk(env, testbed.disk, name=f"bullet-d{i}",
+                             metrics=metrics)
                  for i in range(bullet_disks)]
         mirror = MirroredDiskSet(env, disks)
         rig.bullet = BulletServer(env, mirror, testbed, transport=rpc,
-                                  master_seed=seed, cache_policy=cache_policy)
+                                  master_seed=seed, cache_policy=cache_policy,
+                                  metrics=metrics)
         rig.bullet.format()
         env.run(until=env.process(rig.bullet.boot()))
-        rig.bullet_client = BulletClient(env, rpc, rig.bullet.port)
+        rig.bullet_client = BulletClient(env, rpc, rig.bullet.port,
+                                         metrics=metrics)
     if with_nfs:
-        nfs_disk = VirtualDisk(env, testbed.disk, name="nfs-disk")
+        nfs_disk = VirtualDisk(env, testbed.disk, name="nfs-disk",
+                               metrics=metrics)
         rig.nfs = NfsServer(env, nfs_disk, testbed, transport=rpc,
-                            background_churn=nfs_churn, master_seed=seed)
+                            background_churn=nfs_churn, master_seed=seed,
+                            metrics=metrics)
         rig.nfs.format()
         env.run(until=env.process(rig.nfs.boot()))
         rig.nfs_client = NfsClient(env, testbed, rpc=rpc,

@@ -28,6 +28,7 @@ from ..capability import Capability
 from ..core import OPCODES, BulletServer
 from ..errors import error_for_status
 from ..net import RpcRequest, RpcTransport
+from ..obs import MetricsRegistry
 from ..sim import SeededStream, Tracer
 from .retry import Retrier, RetryPolicy
 
@@ -48,12 +49,19 @@ class BulletClient:
                  timeout: Optional[float] = None,
                  retry: Optional[RetryPolicy] = None,
                  retry_stream: Optional[SeededStream] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "client"):
         self.env = env
         self.rpc = rpc
         self.port = server_port
         self.timeout = timeout
-        self.retrier = (Retrier(env, retry, retry_stream, tracer)
+        self.name = name
+        # Default the client's accounting into the transport's registry
+        # so a testbed built around one transport shares one registry.
+        self.metrics = metrics if metrics is not None else rpc.metrics
+        self.retrier = (Retrier(env, retry, retry_stream, tracer,
+                                metrics=self.metrics, name=name)
                         if retry is not None else None)
 
     def _call(self, request: RpcRequest, idempotent: bool = True):

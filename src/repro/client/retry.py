@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import ReproError, RpcTimeoutError, ServerDownError
+from ..obs import MetricsRegistry
 from ..sim import Environment, SeededStream, Tracer
 
 __all__ = ["RetryPolicy", "Retrier", "TRANSIENT_ERRORS"]
@@ -90,14 +91,48 @@ class Retrier:
 
     def __init__(self, env: Environment, policy: RetryPolicy,
                  stream: Optional[SeededStream] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "client"):
         self.env = env
         self.policy = policy
         self.stream = stream
         self._tracer = tracer
-        self.attempts = 0
-        self.retries = 0
-        self.gave_up = 0
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._attempts = self.metrics.counter(
+            "repro_client_retry_attempts_total", client=name)
+        self._retries = self.metrics.counter(
+            "repro_client_retries_total", client=name)
+        self._gave_up = self.metrics.counter(
+            "repro_client_retry_gave_up_total", client=name)
+
+    # The life counters live in the registry; the attribute protocol is
+    # kept so call sites and tests keep reading/incrementing plain ints.
+
+    @property
+    def attempts(self) -> int:
+        return self._attempts.value
+
+    @attempts.setter
+    def attempts(self, value: int) -> None:
+        self._attempts.inc(value - self._attempts.value)
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._retries.inc(value - self._retries.value)
+
+    @property
+    def gave_up(self) -> int:
+        return self._gave_up.value
+
+    @gave_up.setter
+    def gave_up(self, value: int) -> None:
+        self._gave_up.inc(value - self._gave_up.value)
 
     def run(self, make_attempt: Callable[[], object], op: str,
             idempotent: bool, dedupe: bool = False):

@@ -20,7 +20,7 @@ ablation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import (
@@ -29,6 +29,7 @@ from ..errors import (
     FileTooBigError,
     NoSpaceError,
 )
+from ..obs import MetricsRegistry, RegistryStats
 from .freelist import ExtentFreeList
 
 __all__ = ["Rnode", "BulletCache", "CacheStats"]
@@ -48,14 +49,26 @@ class Rnode:
     busy: bool = False  # pinned during load/transfer; not evictable
 
 
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    compactions: int = 0
-    inserted_bytes: int = 0
-    evicted_bytes: int = 0
+class CacheStats(RegistryStats):
+    """Cache accounting, backed by the observability registry.
+
+    The cache is the *only* writer of hits/misses/lookups (PR 4 fixed a
+    double count where the server bumped these directly alongside
+    :meth:`BulletCache.lookup`); every probe goes through
+    :meth:`BulletCache.lookup` or :meth:`BulletCache.probe_slot`, so
+    ``hits + misses == lookups`` is a checked conservation invariant.
+    """
+
+    _PREFIX = "repro_cache"
+    _COUNTER_FIELDS = (
+        "lookups",
+        "hits",
+        "misses",
+        "evictions",
+        "compactions",
+        "inserted_bytes",
+        "evicted_bytes",
+    )
 
     @property
     def hit_rate(self) -> float:
@@ -68,7 +81,9 @@ class BulletCache:
 
     def __init__(self, capacity_bytes: int, rnode_count: int = 4096,
                  policy: str = "lru",
-                 on_evict: Optional[Callable[[int], None]] = None):
+                 on_evict: Optional[Callable[[int], None]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 owner: str = "bullet"):
         if capacity_bytes <= 0:
             raise BadRequestError("cache capacity must be positive")
         if rnode_count < 1:
@@ -77,15 +92,29 @@ class BulletCache:
             raise BadRequestError(f"unknown eviction policy {policy!r}")
         self.capacity = capacity_bytes
         self.policy = policy
-        self.stats = CacheStats()
+        self.stats = CacheStats(metrics, cache=owner)
         #: Called with the evicted file's inode number, so the server can
         #: clear the inode's index field.
         self.on_evict = on_evict
         self._arena = ExtentFreeList(0, capacity_bytes, strategy="first_fit")
+        self._attach_arena_gauges(owner)
         self._rnodes: dict[int, Rnode] = {}
         self._by_inode: dict[int, Rnode] = {}
         self._free_slots = list(range(rnode_count, 0, -1))
         self._tick = 0
+
+    def _attach_arena_gauges(self, owner: str) -> None:
+        """Publish the arena's fragmentation state as registry gauges
+        (re-attached after :meth:`compact` rebuilds the arena)."""
+        registry = self.stats.registry
+        self._arena.attach_gauges(
+            fragmentation=registry.gauge(
+                "repro_freelist_fragmentation", area=f"{owner}:cache"),
+            free_units=registry.gauge(
+                "repro_freelist_free_units", area=f"{owner}:cache"),
+            largest_hole=registry.gauge(
+                "repro_freelist_largest_hole", area=f"{owner}:cache"),
+        )
 
     # ------------------------------------------------------------ queries
 
@@ -104,10 +133,33 @@ class BulletCache:
     def lookup(self, inode_number: int) -> Optional[Rnode]:
         """The rnode caching ``inode_number``, or None (counts hit/miss)."""
         rnode = self._by_inode.get(inode_number)
+        self.stats.lookups += 1
         if rnode is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+        return rnode
+
+    def probe_slot(self, inode_number: int, index: int) -> Optional[Rnode]:
+        """The paper's cache probe: 'the index field in the inode is
+        inspected to see whether there is a copy of the file in the RAM
+        cache'. ``index`` is the inode's index field (0 = not cached).
+
+        This — not the server — does the hit/miss accounting, so the
+        cache is the single counting authority and
+        ``hits + misses == lookups`` holds by construction.
+        """
+        self.stats.lookups += 1
+        if index == 0:
+            self.stats.misses += 1
+            return None
+        rnode = self.get_slot(index)
+        if rnode.inode_number != inode_number:
+            raise ConsistencyError(
+                f"inode.index out of sync: slot {index} caches inode "
+                f"{rnode.inode_number}, expected {inode_number}"
+            )
+        self.stats.hits += 1
         return rnode
 
     def peek(self, inode_number: int) -> Optional[Rnode]:
@@ -252,7 +304,9 @@ class BulletCache:
             (r for r in self._rnodes.values() if r.size > 0),
             key=lambda r: r.addr,
         )
+        gauges = self._arena.detach_gauges()
         self._arena = ExtentFreeList(0, self.capacity, strategy="first_fit")
+        self._arena.attach_gauges(*gauges)
         moved = 0
         cursor = 0
         for rnode in rnodes:

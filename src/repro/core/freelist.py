@@ -55,6 +55,9 @@ class ExtentFreeList:
         # Parallel sorted arrays of hole starts and lengths.
         self._starts: list[int] = [area_start] if area_size else []
         self._lengths: list[int] = [area_size] if area_size else []
+        # Observability gauges (repro.obs), published after every
+        # mutation once attached.
+        self._gauges: Optional[tuple] = None
 
     # ------------------------------------------------------------ queries
 
@@ -86,6 +89,33 @@ class ExtentFreeList:
         if free == 0:
             return 0.0
         return 1.0 - self.largest_hole / free
+
+    # ------------------------------------------------------ observability
+
+    def attach_gauges(self, fragmentation=None, free_units=None,
+                      largest_hole=None) -> None:
+        """Bind registry gauges (see :mod:`repro.obs`) that track this
+        area's fragmentation state; they are updated eagerly after every
+        allocate/free, so a snapshot at any sim time is current."""
+        self._gauges = (fragmentation, free_units, largest_hole)
+        self._publish()
+
+    def detach_gauges(self) -> tuple:
+        """Unbind and return the gauges (for arena rebuilds)."""
+        gauges = self._gauges or (None, None, None)
+        self._gauges = None
+        return gauges
+
+    def _publish(self) -> None:
+        if self._gauges is None:
+            return
+        fragmentation, free_units, largest_hole = self._gauges
+        if fragmentation is not None:
+            fragmentation.set(self.external_fragmentation())
+        if free_units is not None:
+            free_units.set(self.free_units)
+        if largest_hole is not None:
+            largest_hole.set(self.largest_hole)
 
     def is_free(self, start: int, length: int) -> bool:
         """True when [start, start+length) lies entirely inside a hole."""
@@ -125,6 +155,7 @@ class ExtentFreeList:
         else:
             self._starts[index] += length
             self._lengths[index] -= length
+        self._publish()
         return start
 
     def allocate_at(self, start: int, length: int) -> None:
@@ -152,6 +183,7 @@ class ExtentFreeList:
         if left_len > 0:
             self._starts.insert(i, hole_start)
             self._lengths.insert(i, left_len)
+        self._publish()
 
     def free(self, start: int, length: int) -> None:
         """Return [start, start+length) to the free list, coalescing with
@@ -186,6 +218,7 @@ class ExtentFreeList:
         else:
             self._starts.insert(i, start)
             self._lengths.insert(i, length)
+        self._publish()
 
     def _pick_hole(self, length: int) -> Optional[int]:
         if self.strategy == "first_fit":

@@ -34,12 +34,12 @@ from ..capability import (
 from ..disk import MirroredDiskSet
 from ..errors import (
     BadRequestError,
-    ConsistencyError,
     FileTooBigError,
     NotFoundError,
     ReproError,
 )
 from ..net import RpcReply, RpcRequest, RpcTransport
+from ..obs import MetricsRegistry
 from ..profiles import Testbed
 from ..sim import Environment, Interrupt, SeededStream, Tracer
 from .cache import BulletCache
@@ -64,6 +64,8 @@ OPCODES = {
     "RESTRICT": 7,
 }
 
+_OPNAMES = {number: name for name, number in OPCODES.items()}
+
 
 class BulletServer:
     """One Bullet file server instance over a mirrored disk set."""
@@ -79,6 +81,7 @@ class BulletServer:
         cache_policy: str = "lru",
         alloc_strategy: str = "first_fit",
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.mirror = mirror
@@ -86,7 +89,11 @@ class BulletServer:
         self.name = name
         self.port = port_for_name(name)
         self.transport = transport
-        self.stats = ServerStats()
+        #: The observability registry this server accounts into. Shared
+        #: across the testbed when the caller passes one (make_rig does);
+        #: private otherwise, so a standalone server still self-reports.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServerStats(self.metrics, server=name)
         self._tracer = tracer
         self._secrets = SeededStream(master_seed, f"{name}:secrets")
         self._cache_policy = cache_policy
@@ -133,6 +140,16 @@ class BulletServer:
             rnode_count=self.testbed.bullet.rnode_count,
             policy=self._cache_policy,
             on_evict=self._on_evict,
+            metrics=self.metrics,
+            owner=self.name,
+        )
+        self.disk_free.attach_gauges(
+            fragmentation=self.metrics.gauge(
+                "repro_freelist_fragmentation", area=f"{self.name}:disk"),
+            free_units=self.metrics.gauge(
+                "repro_freelist_free_units", area=f"{self.name}:disk"),
+            largest_hole=self.metrics.gauge(
+                "repro_freelist_largest_hole", area=f"{self.name}:disk"),
         )
         # Every surviving file starts its aging clock afresh; orphans
         # left by pre-crash clients die after max_lives sweeps.
@@ -227,10 +244,16 @@ class BulletServer:
         number, inode = yield from self._check(cap, RIGHT_READ)
         rnode = self._cached_rnode(number, inode)
         if rnode is None:
+            disk_span = self._span_begin("server.disk", inode=number,
+                                         size=inode.size)
             rnode = yield from self._load_from_disk(number, inode)
+            self._span_end(disk_span, "server.disk")
         self.cache.touch(rnode)
         # Copy from the contiguous cache into the network buffers.
+        cache_span = self._span_begin("server.cache", inode=number,
+                                      size=inode.size)
         yield self.env.timeout(inode.size * self.testbed.cpu.memcpy_per_byte)
+        self._span_end(cache_span, "server.cache")
         self.stats.reads += 1
         self.stats.bytes_read += inode.size
         return rnode.data
@@ -294,6 +317,7 @@ class BulletServer:
         new_data = old[:offset] + insert_data + old[offset + delete_bytes:]
         new_cap = yield from self.create(new_data, p_factor)
         self.stats.modifies += 1
+        self.stats.bytes_modified += len(new_data)
         return new_cap
 
     def restrict_cap(self, cap: Capability, mask: int):
@@ -403,20 +427,11 @@ class BulletServer:
         return cap.object, inode
 
     def _cached_rnode(self, number: int, inode):
-        """The paper's cache probe: 'the index field in the inode is
-        inspected to see whether there is a copy of the file in the RAM
-        cache'."""
-        if inode.index == 0:
-            self.cache.stats.misses += 1
-            return None
-        rnode = self.cache.get_slot(inode.index)
-        if rnode.inode_number != number:
-            raise ConsistencyError(
-                f"inode.index out of sync: slot {inode.index} caches inode "
-                f"{rnode.inode_number}, expected {number}"
-            )
-        self.cache.stats.hits += 1
-        return rnode
+        """Cache probe via the inode's index field. The accounting lives
+        in :meth:`~repro.core.cache.BulletCache.probe_slot` — the cache
+        is the only writer of its hit/miss counters, so the server
+        cannot double count (the PR 4 bugfix)."""
+        return self.cache.probe_slot(number, inode.index)
 
     def _load_from_disk(self, number: int, inode):
         """Read-miss path: reserve contiguous cache space (evicting LRU
@@ -459,14 +474,38 @@ class BulletServer:
             endpoint = self._endpoint
             while self._booted and endpoint is self._endpoint:
                 req = yield endpoint.getreq()
+                self._span_end(req.queue_span, "rpc.queue")
+                opname = _OPNAMES.get(req.opcode, str(req.opcode))
+                op_span = self._span_begin("server.op", op=opname,
+                                           server=self.name)
+                started = self.env.now
                 try:
                     reply = yield from self._dispatch(req)
                 except ReproError as exc:
-                    self.stats.errors += 1
-                    reply = RpcTransport.reply_for_error(exc)
+                    reply = self._error_reply(exc)
+                self._span_end(op_span, "server.op", status=reply.status)
+                self.metrics.histogram(
+                    "repro_server_op_seconds", server=self.name, op=opname
+                ).observe(self.env.now - started)
+                net_span = self._span_begin("server.net", op=opname)
                 yield self.env.process(endpoint.putrep(req, reply))
+                self._span_end(net_span, "server.net")
         except Interrupt:
             return
+
+    def _error_reply(self, exc: ReproError) -> RpcReply:
+        """The single error-accounting chokepoint: every error reply the
+        server sends is marshalled (and counted) here, so
+        ``stats.errors`` and the per-status registry family
+        ``repro_server_error_replies_total`` cannot drift apart no
+        matter how many serve-loop sites exist (the PR 4 bugfix)."""
+        self.stats.errors += 1
+        self.metrics.counter(
+            "repro_server_error_replies_total",
+            server=self.name, status=exc.status.name,
+        ).inc()
+        self._trace("bullet", "error reply", status=exc.status.name)
+        return RpcTransport.reply_for_error(exc)
 
     def _dispatch(self, req: RpcRequest):
         op = req.opcode
@@ -503,3 +542,12 @@ class BulletServer:
     def _trace(self, category: str, message: str, **fields) -> None:
         if self._tracer is not None:
             self._tracer.emit(category, message, **fields)
+
+    def _span_begin(self, name: str, **fields) -> int:
+        if self._tracer is None:
+            return 0
+        return self._tracer.begin_span("span", name, **fields)
+
+    def _span_end(self, span_id: int, name: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.end_span(span_id, "span", name, **fields)

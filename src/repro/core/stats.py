@@ -1,37 +1,32 @@
-"""Operation statistics for the Bullet server."""
+"""Operation statistics for the Bullet server.
+
+Since the observability plane (PR 4), the counters live in a
+:class:`~repro.obs.MetricsRegistry` — ``ServerStats`` is a facade over
+registry counters (``repro_server_<field>_total{server=...}``), so the
+values reported by ``std_status``, the Prometheus/JSON exporters, and
+the bench emitter are one and the same.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..obs import RegistryStats
 
 
-@dataclass
-class ServerStats:
+class ServerStats(RegistryStats):
     """Counters the server maintains for std_status-style reporting."""
 
-    creates: int = 0
-    reads: int = 0
-    sizes: int = 0
-    deletes: int = 0
-    modifies: int = 0
-    restricts: int = 0
-    errors: int = 0
-    bytes_created: int = 0
-    bytes_read: int = 0
-    cap_checks: int = 0
-    cap_check_cache_hits: int = 0
-
-    def snapshot(self) -> dict:
-        return {
-            "creates": self.creates,
-            "reads": self.reads,
-            "sizes": self.sizes,
-            "deletes": self.deletes,
-            "modifies": self.modifies,
-            "restricts": self.restricts,
-            "errors": self.errors,
-            "bytes_created": self.bytes_created,
-            "bytes_read": self.bytes_read,
-            "cap_checks": self.cap_checks,
-            "cap_check_cache_hits": self.cap_check_cache_hits,
-        }
+    _PREFIX = "repro_server"
+    _COUNTER_FIELDS = (
+        "creates",
+        "reads",
+        "sizes",
+        "deletes",
+        "modifies",
+        "restricts",
+        "errors",
+        "bytes_created",
+        "bytes_read",
+        "bytes_modified",
+        "cap_checks",
+        "cap_check_cache_hits",
+    )

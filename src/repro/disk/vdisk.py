@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import ConsistencyError, DiskIOError
+from ..obs import MetricsRegistry, RegistryStats
 from ..profiles import DiskProfile
 from ..sim import Environment, Event, Store, Tracer
 from .geometry import DiskGeometry
@@ -29,26 +30,19 @@ from .scheduler import make_queue
 __all__ = ["VirtualDisk", "DiskStats"]
 
 
-@dataclass
-class DiskStats:
-    """Operation counters for one disk."""
+class DiskStats(RegistryStats):
+    """Operation counters for one disk, backed by the observability
+    registry (``repro_disk_<field>_total{disk=...}``)."""
 
-    reads: int = 0
-    writes: int = 0
-    blocks_read: int = 0
-    blocks_written: int = 0
-    busy_time: float = 0.0
-    seeks: int = 0
-
-    def snapshot(self) -> dict:
-        return {
-            "reads": self.reads,
-            "writes": self.writes,
-            "blocks_read": self.blocks_read,
-            "blocks_written": self.blocks_written,
-            "busy_time": self.busy_time,
-            "seeks": self.seeks,
-        }
+    _PREFIX = "repro_disk"
+    _COUNTER_FIELDS = (
+        "reads",
+        "writes",
+        "blocks_read",
+        "blocks_written",
+        "busy_time",
+        "seeks",
+    )
 
 
 @dataclass
@@ -71,12 +65,13 @@ class VirtualDisk:
         name: str = "disk0",
         discipline: str = "fcfs",
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.profile = profile
         self.name = name
         self.geometry = DiskGeometry(profile)
-        self.stats = DiskStats()
+        self.stats = DiskStats(metrics, disk=name)
         self._tracer = tracer
         self._blocks: dict[int, bytes] = {}
         self._queue = make_queue(discipline)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import BadRequestError, ConsistencyError
+from ..obs import MetricsRegistry
 from ..sim import Environment, SeededStream, Tracer
 from .injector import arm_fail_after_writes
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan
@@ -30,11 +31,13 @@ class FaultController:
     """Runs a fault plan against attached disks, networks, and servers."""
 
     def __init__(self, env: Environment, plan: FaultPlan,
-                 master_seed: int = 0, tracer: Optional[Tracer] = None):
+                 master_seed: int = 0, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.plan = plan
         self.master_seed = master_seed
         self._tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: (time, kind, target, detail) tuples, in firing order.
         self.firings: list[tuple[float, str, str, str]] = []
         self._targets: dict[str, object] = {}
@@ -181,6 +184,9 @@ class FaultController:
 
     def _record(self, event: FaultEvent, detail: str = "") -> None:
         self.firings.append((self.env.now, event.kind, event.target, detail))
+        self.metrics.counter(
+            "repro_fault_firings_total", kind=event.kind
+        ).inc()
         if self._tracer is not None:
             self._tracer.emit("fault", f"{event.kind} {event.target}",
                               detail=detail)

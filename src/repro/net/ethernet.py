@@ -14,24 +14,27 @@ foreground transfers experience realistic queueing jitter — long bursts
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import MetricsRegistry, RegistryStats
 from ..profiles import EthernetProfile
 from ..sim import Environment, Resource, SeededStream, Tracer
 
 __all__ = ["Ethernet", "EthernetStats"]
 
 
-@dataclass
-class EthernetStats:
-    """Traffic counters for the segment."""
+class EthernetStats(RegistryStats):
+    """Traffic counters for the segment, backed by the observability
+    registry (``repro_ethernet_<field>_total{segment=...}``)."""
 
-    packets: int = 0
-    payload_bytes: int = 0
-    wire_time: float = 0.0
-    background_packets: int = 0
-    lost_packets: int = 0
+    _PREFIX = "repro_ethernet"
+    _COUNTER_FIELDS = (
+        "packets",
+        "payload_bytes",
+        "wire_time",
+        "background_packets",
+        "lost_packets",
+    )
 
 
 class Ethernet:
@@ -44,10 +47,13 @@ class Ethernet:
         stream: Optional[SeededStream] = None,
         background_load: bool = False,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "ether",
     ):
         self.env = env
         self.profile = profile
-        self.stats = EthernetStats()
+        self.name = name
+        self.stats = EthernetStats(metrics, segment=name)
         self._medium = Resource(env, capacity=1)
         self._tracer = tracer
         self._stream = stream

@@ -33,6 +33,7 @@ from ..errors import (
     Status,
     error_for_status,
 )
+from ..obs import MetricsRegistry
 from ..profiles import CpuProfile
 from ..sim import AnyOf, Environment, Event, Store, Tracer
 
@@ -55,6 +56,7 @@ class RpcRequest:
     reply_event: Optional[Event] = None
     txid: Optional[int] = None  # transaction id for duplicate suppression
     reply_missing: Optional[list] = None  # reply fragments still missing
+    queue_span: int = 0  # span opened at inbox entry, closed at getreq
 
     @property
     def wire_size(self) -> int:
@@ -158,20 +160,33 @@ class RpcTransport:
     """The port registry plus client-side ``trans``."""
 
     def __init__(self, env: Environment, ethernet, cpu: CpuProfile,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.env = env
         self.ethernet = ethernet
         self.cpu = cpu
         self._ports: dict[int, ServiceEndpoint] = {}
         self._routes: list = []
         self._tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._retransmits = self.metrics.counter("repro_rpc_retransmits_total")
         self._txid = 0
         #: Retransmission policy (only exercised on lossy networks or
         #: when a call sets a timeout): resend after this interval, give
         #: up after max_retransmits sends.
         self.retransmit_interval = 0.5
         self.max_retransmits = 10
-        self.stats_retransmits = 0
+
+    @property
+    def stats_retransmits(self) -> int:
+        """Retransmission count, read from the registry counter
+        (``repro_rpc_retransmits_total``) so the transport and the
+        exporters cannot disagree."""
+        return self._retransmits.value
+
+    @stats_retransmits.setter
+    def stats_retransmits(self, value: int) -> None:
+        self._retransmits.inc(value - self._retransmits.value)
 
     def add_route(self, gateway) -> None:
         """Install a gateway consulted for ports not served locally
@@ -240,62 +255,72 @@ class RpcTransport:
         # Marshal, then transmit with retransmission: at-least-once on
         # the wire, exactly-once at the server (duplicate suppression in
         # the endpoint).
-        yield self.env.timeout(len(request.body) * self.cpu.memcpy_per_byte)
-        request.reply_event = Event(self.env)
-        if request.txid is None:
-            request.txid = self.new_txid()
-        deadline = self.env.now + timeout if timeout is not None else None
+        trans_span = 0
+        if self._tracer is not None:
+            trans_span = self._tracer.begin_span(
+                "span", "rpc.trans", port=port, opcode=request.opcode
+            )
         attempts = 0
-        missing = None           # fragment indices still to deliver
-        request_delivered = False
-        while True:
-            if not request_delivered:
-                lost = yield self.env.process(
-                    self.ethernet.send_fragments(request.wire_size, missing)
-                )
-                if lost:
-                    missing = lost  # selective retransmission next round
+        try:
+            yield self.env.timeout(len(request.body) * self.cpu.memcpy_per_byte)
+            request.reply_event = Event(self.env)
+            if request.txid is None:
+                request.txid = self.new_txid()
+            deadline = self.env.now + timeout if timeout is not None else None
+            missing = None           # fragment indices still to deliver
+            request_delivered = False
+            while True:
+                if not request_delivered:
+                    lost = yield self.env.process(
+                        self.ethernet.send_fragments(request.wire_size, missing)
+                    )
+                    if lost:
+                        missing = lost  # selective retransmission next round
+                    else:
+                        request_delivered = True
+                        missing = None
+                        self._deliver(endpoint, request)
                 else:
-                    request_delivered = True
-                    missing = None
-                    self._deliver(endpoint, request)
-            else:
-                # The request is complete server-side; we are chasing a
-                # lost reply. A header-only probe makes the endpoint
-                # resend its cached reply.
-                probe_lost = yield self.env.process(
-                    self.ethernet.send_fragments(HEADER_WIRE_SIZE)
-                )
-                if not probe_lost:
-                    self._deliver(endpoint, request)
-            attempts += 1
-            if not self.ethernet.lossy and timeout is None:
-                # Lossless, no deadline: the reply will come (or the
-                # endpoint will fail the event on a crash).
-                reply = yield request.reply_event
-                break
-            wait = self.retransmit_interval
-            if deadline is not None:
-                wait = min(wait, max(deadline - self.env.now, 0.0))
-            timer = self.env.timeout(wait)
-            yield AnyOf(self.env, [request.reply_event, timer])
-            if request.reply_event.triggered:
-                if not request.reply_event.ok:
-                    raise request.reply_event.value
-                reply = request.reply_event.value
-                break
-            if deadline is not None and self.env.now >= deadline:
-                raise RpcTimeoutError(
-                    f"transaction on port {port:#x} timed out after {timeout}s"
-                )
-            if attempts >= self.max_retransmits:
-                raise RpcTimeoutError(
-                    f"transaction on port {port:#x} gave up after "
-                    f"{attempts} transmissions"
-                )
-            self.stats_retransmits += 1
-        # Client-side copy of the reply body out of the network buffers.
-        yield self.env.timeout(len(reply.body) * self.cpu.memcpy_per_byte)
+                    # The request is complete server-side; we are chasing a
+                    # lost reply. A header-only probe makes the endpoint
+                    # resend its cached reply.
+                    probe_lost = yield self.env.process(
+                        self.ethernet.send_fragments(HEADER_WIRE_SIZE)
+                    )
+                    if not probe_lost:
+                        self._deliver(endpoint, request)
+                attempts += 1
+                if not self.ethernet.lossy and timeout is None:
+                    # Lossless, no deadline: the reply will come (or the
+                    # endpoint will fail the event on a crash).
+                    reply = yield request.reply_event
+                    break
+                wait = self.retransmit_interval
+                if deadline is not None:
+                    wait = min(wait, max(deadline - self.env.now, 0.0))
+                timer = self.env.timeout(wait)
+                yield AnyOf(self.env, [request.reply_event, timer])
+                if request.reply_event.triggered:
+                    if not request.reply_event.ok:
+                        raise request.reply_event.value
+                    reply = request.reply_event.value
+                    break
+                if deadline is not None and self.env.now >= deadline:
+                    raise RpcTimeoutError(
+                        f"transaction on port {port:#x} timed out after {timeout}s"
+                    )
+                if attempts >= self.max_retransmits:
+                    raise RpcTimeoutError(
+                        f"transaction on port {port:#x} gave up after "
+                        f"{attempts} transmissions"
+                    )
+                self.stats_retransmits += 1
+            # Client-side copy of the reply body out of the network buffers.
+            yield self.env.timeout(len(reply.body) * self.cpu.memcpy_per_byte)
+        finally:
+            if self._tracer is not None:
+                self._tracer.end_span(trans_span, "span", "rpc.trans",
+                                      attempts=attempts)
         self._trace("rpc", "trans complete", port=port, opcode=request.opcode,
                     status=reply.status)
         return reply
@@ -324,6 +349,11 @@ class RpcTransport:
         if request.txid in endpoint.in_progress:
             return  # duplicate of a transaction still being served
         endpoint.in_progress.add(request.txid)
+        if self._tracer is not None:
+            request.queue_span = self._tracer.begin_span(
+                "span", "rpc.queue", port=endpoint.port,
+                opcode=request.opcode,
+            )
         endpoint.inbox.put(request)
 
     def _resend_reply(self, endpoint: ServiceEndpoint, request: RpcRequest,

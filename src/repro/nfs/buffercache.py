@@ -17,22 +17,28 @@ a long transfer's footprint gets partially evicted while it streams.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from typing import Optional
 
 from ..disk import VirtualDisk
+from ..obs import MetricsRegistry, RegistryStats
 from ..sim import Environment, SeededStream
 
 __all__ = ["BufferCache", "BufferCacheStats"]
 
 
-@dataclass
-class BufferCacheStats:
-    hits: int = 0
-    misses: int = 0
-    write_throughs: int = 0
-    delayed_writes: int = 0
-    evictions: int = 0
-    churned: int = 0
+class BufferCacheStats(RegistryStats):
+    """Buffer-cache accounting, backed by the observability registry
+    (``repro_buffercache_<field>_total{cache=...}``)."""
+
+    _PREFIX = "repro_buffercache"
+    _COUNTER_FIELDS = (
+        "hits",
+        "misses",
+        "write_throughs",
+        "delayed_writes",
+        "evictions",
+        "churned",
+    )
 
     @property
     def hit_rate(self) -> float:
@@ -44,7 +50,9 @@ class BufferCache:
     """An LRU block cache in front of one disk."""
 
     def __init__(self, env: Environment, disk: VirtualDisk,
-                 capacity_bytes: int, fs_block_size: int):
+                 capacity_bytes: int, fs_block_size: int,
+                 metrics: Optional[MetricsRegistry] = None,
+                 owner: str = "nfs"):
         if fs_block_size % disk.block_size != 0:
             raise ValueError(
                 f"fs block size {fs_block_size} not a multiple of the disk "
@@ -55,7 +63,7 @@ class BufferCache:
         self.fs_block_size = fs_block_size
         self.capacity_blocks = max(capacity_bytes // fs_block_size, 1)
         self.sectors_per_block = fs_block_size // disk.block_size
-        self.stats = BufferCacheStats()
+        self.stats = BufferCacheStats(metrics, cache=owner)
         self._blocks: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
 

@@ -20,6 +20,7 @@ from ..disk import VirtualDisk
 from ..errors import BadRequestError, NotFoundError, ReproError
 from ..net import RpcReply, RpcRequest, RpcTransport
 from ..capability import port_for_name
+from ..obs import MetricsRegistry
 from ..profiles import Testbed
 from ..sim import Environment, SeededStream, Tracer
 from .buffercache import BufferCache
@@ -37,6 +38,8 @@ NFS_OPCODES = {
     "MKDIR": 46,
     "READDIR": 47,
 }
+
+_NFS_OPNAMES = {number: name for name, number in NFS_OPCODES.items()}
 
 
 class FileHandle(tuple):
@@ -70,6 +73,7 @@ class NfsServer:
         master_seed: int = 0,
         ninodes: int = 1024,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.disk = disk
@@ -78,9 +82,11 @@ class NfsServer:
         self.port = port_for_name(name)
         self.transport = transport
         self._tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         nfs = testbed.nfs
         self.cache = BufferCache(env, disk, nfs.buffer_cache_bytes,
-                                 nfs.fs_block_size)
+                                 nfs.fs_block_size,
+                                 metrics=self.metrics, owner=name)
         self.fs = FFS(env, disk, self.cache, fs_block_size=nfs.fs_block_size,
                       ninodes=ninodes, maxbpg=nfs.direct_blocks)
         self._booted = False
@@ -224,11 +230,30 @@ class NfsServer:
         endpoint = self._endpoint
         while self._booted and endpoint is self._endpoint:
             req = yield endpoint.getreq()
+            opname = _NFS_OPNAMES.get(req.opcode, str(req.opcode))
+            self.metrics.counter(
+                "repro_nfs_requests_total", server=self.name, op=opname
+            ).inc()
+            started = self.env.now
             try:
                 reply = yield from self._dispatch(req)
             except ReproError as exc:
-                reply = RpcTransport.reply_for_error(exc)
+                reply = self._error_reply(exc)
+            self.metrics.histogram(
+                "repro_server_op_seconds", server=self.name, op=opname
+            ).observe(self.env.now - started)
             yield self.env.process(endpoint.putrep(req, reply))
+
+    def _error_reply(self, exc: ReproError) -> RpcReply:
+        """The error-accounting chokepoint (before PR 4 the NFS serve
+        loop marshalled errors without counting them at all)."""
+        self.metrics.counter(
+            "repro_server_error_replies_total",
+            server=self.name, status=exc.status.name,
+        ).inc()
+        if self._tracer is not None:
+            self._tracer.emit("nfs", "error reply", status=exc.status.name)
+        return RpcTransport.reply_for_error(exc)
 
     def _dispatch(self, req: RpcRequest):
         op = req.opcode

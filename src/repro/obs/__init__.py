@@ -1,0 +1,49 @@
+"""repro.obs — the deterministic observability plane (PR 4 tentpole).
+
+The paper's evaluation (§4) is entirely measured delays and bandwidths;
+this package is the measurement substrate the reproduction uses to
+observe itself:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms,
+  all sim-time based (no wall clock, analyzer-clean). One registry per
+  testbed is the single accounting authority; the per-component stats
+  objects (``ServerStats``, ``CacheStats``, ``DiskStats``...) are thin
+  facades over its counters via :class:`RegistryStats`.
+* :func:`render_text` / :func:`render_json` — Prometheus-style and
+  canonical-JSON exporters, byte-identical across same-seed runs.
+* :func:`pair_spans` — request-scoped span reconstruction; spans flow
+  RPC → server → cache → disk so a READ decomposes into its
+  queue/cache/disk/net components.
+* ``repro.obs.bench`` — the bench emitter hooking
+  :mod:`repro.bench.harness` (imported lazily; it pulls in the whole
+  testbed). ``python -m repro.obs`` dumps a registry snapshot from an
+  example run, ``python -m repro.obs bench`` writes the trajectory
+  artifacts (``benchmarks/results/bench.json``, ``BENCH_PR4.json``).
+"""
+
+from .export import render_json, render_text
+from .registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    RegistryStats,
+)
+from .spans import Span, durations_by_name, pair_spans
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "RegistryStats",
+    "Span",
+    "durations_by_name",
+    "pair_spans",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,81 @@
+"""``python -m repro.obs`` — the observability plane's CLI.
+
+Default mode builds a small Bullet testbed, drives a seeded workload
+through the RPC plane, and dumps the shared metrics registry::
+
+    python -m repro.obs                    # Prometheus text exposition
+    python -m repro.obs --format json      # canonical JSON snapshot
+    python -m repro.obs --seed 7           # different workload seed
+
+``bench`` runs the Figure 2/3 experiments and writes the canonical
+bench artifact (byte-identical across same-seed runs)::
+
+    python -m repro.obs bench --seed 1989 \
+        --results benchmarks/results/bench.json --top BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..bench import make_rig
+from ..sim import run_process
+from ..units import KB
+from .export import render_json, render_text
+
+#: The snapshot workload: whole files created, read twice (one cold,
+#: one warm probe each), the middle one deleted.
+SNAPSHOT_SIZES = (1 * KB, 16 * KB, 64 * KB)
+
+
+def _snapshot(seed: int, fmt: str) -> str:
+    rig = make_rig(seed=seed, with_nfs=False, background_load=False)
+    env, client = rig.env, rig.bullet_client
+    caps = [run_process(env, client.create(bytes(size), 1))
+            for size in SNAPSHOT_SIZES]
+    for cap in caps:
+        run_process(env, client.read(cap))
+        run_process(env, client.read(cap))
+    run_process(env, client.delete(caps[1]))
+    if fmt == "json":
+        return render_json(rig.metrics)
+    return render_text(rig.metrics)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Dump the deterministic metrics registry, or emit "
+                    "the bench artifact.",
+    )
+    parser.add_argument("--seed", type=int, default=1989,
+                        help="workload seed (default: 1989)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="snapshot rendering")
+    sub = parser.add_subparsers(dest="command")
+    bench = sub.add_parser("bench", help="run fig2/fig3 and write the "
+                                         "canonical bench JSON")
+    bench.add_argument("--seed", type=int, default=1989)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--results", default="benchmarks/results/bench.json",
+                       help="bench artifact path")
+    bench.add_argument("--top", default=None,
+                       help="optional second copy (e.g. BENCH_PR4.json)")
+    args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        # Imported lazily: obs.bench pulls in repro.bench -> repro.core,
+        # which itself imports repro.obs.
+        from .bench import write_bench
+        write_bench(args.results, args.top,
+                    seed=args.seed, repeats=args.repeats)
+        print(f"wrote {args.results}"
+              + (f" and {args.top}" if args.top else ""))
+        return 0
+
+    print(_snapshot(args.seed, args.format), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

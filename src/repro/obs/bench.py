@@ -1,0 +1,127 @@
+"""The bench emitter: one deterministic JSON artifact per bench run.
+
+Runs the paper's Figure 2 / Figure 3 experiments (plus a small cache
+ablation) on the shared-registry rig and renders everything — delays,
+bandwidths, the full metrics snapshot, and the conservation invariants —
+as canonical JSON: keys sorted, floats via ``repr`` (what ``json``
+emits), trailing newline. Two runs with the same seed produce
+**byte-identical** files; CI diffs them to catch determinism
+regressions.
+
+This module imports :mod:`repro.bench` (which imports ``repro.core``,
+which imports :mod:`repro.obs`), so it is deliberately *not* imported
+from ``repro.obs.__init__`` — import it directly::
+
+    from repro.obs.bench import run_bench, write_bench
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..bench import PAPER_SIZES, bullet_figure2, make_rig, nfs_figure3
+from ..errors import ConsistencyError
+from ..units import to_msec
+
+__all__ = ["run_bench", "write_bench", "canonical_json"]
+
+#: Sizes used for the quick cache-policy ablation (kept small: the
+#: ablation is a smoke check, not a figure).
+ABLATION_SIZES = (1024, 65536)
+
+
+def canonical_json(payload: dict) -> str:
+    """The one true rendering: sorted keys, 2-space indent, trailing
+    newline. Byte-identical for equal payloads."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _table_payload(table) -> dict:
+    """A MeasurementTable as plain data: per size and column, the delay
+    (msec, as the paper's part (a)) and bandwidth (KB/s, part (b))."""
+    out: dict = {}
+    for size in sorted(table.rows):
+        row: dict = {}
+        for column in table.columns:
+            if column not in table.rows[size]:
+                continue
+            row[column] = {
+                "delay_ms": to_msec(table.delay(size, column)),
+                "bandwidth_kb_s": table.bandwidth(size, column),
+            }
+        out[str(size)] = row
+    return out
+
+
+def _check_invariants(registry) -> dict:
+    """The conservation checks the registry makes possible; raises
+    :class:`ConsistencyError` on violation so CI fails loudly."""
+    lookups = registry.total("repro_cache_lookups_total")
+    hits = registry.total("repro_cache_hits_total")
+    misses = registry.total("repro_cache_misses_total")
+    if hits + misses != lookups:
+        raise ConsistencyError(
+            f"cache conservation violated: {hits} hits + {misses} misses "
+            f"!= {lookups} lookups"
+        )
+    return {
+        "cache_lookups": lookups,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_conservation": "hits + misses == lookups",
+    }
+
+
+def _ablation_cache_policy(seed: int, repeats: int) -> dict:
+    """Fig. 2 READ delay under LRU vs FIFO eviction (A3)."""
+    out: dict = {}
+    for policy in ("lru", "fifo"):
+        rig = make_rig(seed=seed, with_nfs=False, background_load=False,
+                       cache_policy=policy)
+        table = bullet_figure2(rig, sizes=list(ABLATION_SIZES),
+                               repeats=repeats)
+        out[policy] = {
+            str(size): to_msec(table.delay(size, "READ"))
+            for size in sorted(table.rows)
+        }
+    return out
+
+
+def run_bench(seed: int = 1989, repeats: int = 3,
+              sizes: Optional[list] = None) -> dict:
+    """Run the figures on one shared-registry rig; return the payload."""
+    wanted = list(sizes) if sizes is not None else list(PAPER_SIZES)
+    rig = make_rig(seed=seed)
+    fig2 = bullet_figure2(rig, sizes=wanted, repeats=repeats)
+    fig3 = nfs_figure3(rig, sizes=wanted, repeats=repeats)
+    return {
+        "meta": {
+            "paper": "The Design of a High-Performance File Server "
+                     "(van Renesse, Tanenbaum, Wilschut; ICDCS 1989)",
+            "seed": seed,
+            "repeats": repeats,
+            "sizes": wanted,
+        },
+        "fig2_bullet": _table_payload(fig2),
+        "fig3_nfs": _table_payload(fig3),
+        "ablations": {
+            "cache_policy_read_delay_ms":
+                _ablation_cache_policy(seed, min(repeats, 2)),
+        },
+        "invariants": _check_invariants(rig.metrics),
+        "metrics": rig.metrics.snapshot(),
+    }
+
+
+def write_bench(results_path: str, top_path: Optional[str] = None,
+                seed: int = 1989, repeats: int = 3,
+                sizes: Optional[list] = None) -> dict:
+    """Run the bench and write the canonical JSON to ``results_path``
+    (and ``top_path``, when given). Returns the payload."""
+    payload = run_bench(seed=seed, repeats=repeats, sizes=sizes)
+    text = canonical_json(payload)
+    for path in filter(None, (results_path, top_path)):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return payload

@@ -42,6 +42,7 @@ class Tracer:
     sink: Optional[Callable[[TraceRecord], None]] = None
     records: list[TraceRecord] = field(default_factory=list)
     enabled: bool = True
+    span_seq: int = 0
 
     def emit(self, category: str, message: str, **fields) -> None:
         """Record one event at the current simulated time."""
@@ -58,6 +59,36 @@ class Tracer:
         self.records.append(record)
         if self.sink is not None:
             self.sink(record)
+
+    # ------------------------------------------------------------- spans
+
+    def begin_span(self, category: str, name: str, parent: int = 0,
+                   **fields) -> int:
+        """Open a span: emit a begin marker, return the new span id.
+
+        Span ids are sequential per tracer, so two same-seed runs number
+        their spans identically. Returns 0 when tracing is disabled (the
+        matching :meth:`end_span` then no-ops). ``parent`` links nested
+        spans (0 = root); :func:`repro.obs.pair_spans` reassembles the
+        B/E markers into :class:`~repro.obs.Span` objects.
+        """
+        if not self.enabled:
+            return 0
+        self.span_seq += 1
+        span_id = self.span_seq
+        if parent:
+            self.emit(category, name, span=span_id, phase="B",
+                      parent=parent, **fields)
+        else:
+            self.emit(category, name, span=span_id, phase="B", **fields)
+        return span_id
+
+    def end_span(self, span_id: int, category: str, name: str,
+                 **fields) -> None:
+        """Close a span opened by :meth:`begin_span` (0 is a no-op)."""
+        if not self.enabled or not span_id:
+            return
+        self.emit(category, name, span=span_id, phase="E", **fields)
 
     def select(self, category: str) -> list[TraceRecord]:
         """All collected records in ``category``."""

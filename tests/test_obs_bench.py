@@ -1,0 +1,267 @@
+"""Integration tests for the observability plane: the PR 4 accounting
+bugfixes (cache double count, error chokepoint, MODIFY bytes), the
+shared-registry wiring, request spans end-to-end, and the bench
+emitter's byte-identical artifact."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.capability import Capability
+from repro.client import BulletClient
+from repro.disk import VirtualDisk
+from repro.errors import NotFoundError, Status
+from repro.net import Ethernet, RpcRequest, RpcTransport
+from repro.nfs import NfsServer
+from repro.obs import pair_spans, render_json, render_text
+from repro.profiles import CpuProfile, EthernetProfile
+from repro.sim import Environment, Tracer, run_process
+from repro.units import KB
+
+from conftest import SMALL_DISK, make_bullet, small_testbed
+
+
+# ------------------------------------------------- cache double count
+
+
+def test_cache_is_the_single_counting_authority(env, bullet):
+    """The PR 4 bugfix: the server's inode.index probe delegates to the
+    cache, so a request can never be counted twice."""
+    stats = bullet.cache.stats
+    cap = run_process(env, bullet.create(b"x" * 1024, 1))
+    assert stats.lookups == 0  # create inserts; it does not probe
+    run_process(env, bullet.read(cap))
+    assert (stats.lookups, stats.hits, stats.misses) == (1, 1, 0)
+    bullet.evict(cap.object)
+    run_process(env, bullet.read(cap))
+    assert (stats.lookups, stats.hits, stats.misses) == (2, 1, 1)
+    run_process(env, bullet.read(cap))
+    assert (stats.lookups, stats.hits, stats.misses) == (3, 2, 1)
+
+
+def test_conservation_and_status_hit_rate_match_registry(env, bullet):
+    caps = [run_process(env, bullet.create(bytes(s), 1))
+            for s in (1, 256, 4 * KB, 64 * KB)]
+    for cap in caps:
+        run_process(env, bullet.read(cap))
+    bullet.evict(caps[0].object)
+    run_process(env, bullet.read(caps[0]))
+    run_process(env, bullet.modify(caps[1], 0, 0, b"prefix", 1))
+    run_process(env, bullet.delete(caps[2]))
+
+    reg = bullet.metrics
+    lookups = reg.value("repro_cache_lookups_total", cache="bullet")
+    hits = reg.value("repro_cache_hits_total", cache="bullet")
+    misses = reg.value("repro_cache_misses_total", cache="bullet")
+    assert hits + misses == lookups
+    assert lookups == bullet.cache.stats.lookups
+    status = bullet.status()
+    assert status["cache_hit_rate"] == pytest.approx(hits / (hits + misses))
+    # std_status reads the very same registry counters.
+    assert status["reads"] == reg.value("repro_server_reads_total",
+                                        server="bullet")
+
+
+# -------------------------------------------------- MODIFY byte accounting
+
+
+def test_modify_accounts_bytes(env, bullet):
+    cap = run_process(env, bullet.create(b"hello world", 1))
+    assert bullet.stats.bytes_modified == 0
+    run_process(env, bullet.modify(cap, 6, 5, b"obs", 1))
+    # New file is "hello obs" (9 bytes); MODIFY now accounts it.
+    assert bullet.stats.bytes_modified == 9
+    # Conservation: the derived file's bytes also flow through CREATE.
+    assert bullet.stats.bytes_created == 11 + 9
+
+
+# ------------------------------------------------------ error chokepoint
+
+
+@pytest.fixture
+def rpc_rig(env):
+    eth = Ethernet(env, EthernetProfile())
+    rpc = RpcTransport(env, eth, CpuProfile())
+    bullet = make_bullet(env, transport=rpc)
+    client = BulletClient(env, rpc, bullet.port)
+    return bullet, rpc, client
+
+
+def test_error_replies_route_through_one_chokepoint(env, rpc_rig):
+    bullet, rpc, client = rpc_rig
+    good = run_process(env, client.create(b"ok", 1))
+    bogus = Capability(port=bullet.port, object=9999, rights=0xFF, check=1)
+    with pytest.raises(NotFoundError):
+        run_process(env, client.read(bogus))
+    # An unknown opcode is a different error family through the same path.
+    reply = run_process(
+        env, rpc.trans(bullet.port, RpcRequest(opcode=99, cap=good))
+    )
+    assert reply.status == int(Status.BAD_REQUEST)
+    reg = bullet.metrics
+    assert reg.value("repro_server_error_replies_total",
+                     server="bullet", status="NOT_FOUND") == 1
+    assert reg.value("repro_server_error_replies_total",
+                     server="bullet", status="BAD_REQUEST") == 1
+    # The per-status family and the scalar errors counter agree.
+    assert reg.total("repro_server_error_replies_total") == 2
+    assert bullet.stats.errors == 2
+
+
+def test_nfs_errors_are_counted(env):
+    """Before PR 4 the NFS serve loop marshalled errors without any
+    accounting at all."""
+    eth = Ethernet(env, EthernetProfile())
+    rpc = RpcTransport(env, eth, CpuProfile())
+    disk = VirtualDisk(env, SMALL_DISK, name="nfsdisk")
+    server = NfsServer(env, disk, small_testbed(), transport=rpc)
+    server.format()
+    run_process(env, server.boot())
+    reply = run_process(
+        env, rpc.trans(server.port, RpcRequest(opcode=99))
+    )
+    assert reply.status == int(Status.BAD_REQUEST)
+    assert server.metrics.value("repro_server_error_replies_total",
+                                server="nfs", status="BAD_REQUEST") == 1
+
+
+# ------------------------------------------------------------ spans
+
+
+def test_read_decomposes_into_spans(env):
+    tracer = Tracer(env=env, categories={"span"})
+    eth = Ethernet(env, EthernetProfile())
+    rpc = RpcTransport(env, eth, CpuProfile(), tracer=tracer)
+    bullet = make_bullet(env, transport=rpc, tracer=tracer)
+    client = BulletClient(env, rpc, bullet.port)
+
+    cap = run_process(env, client.create(b"d" * 4096, 1))
+    run_process(env, client.read(cap))          # warm: cache only
+    bullet.evict(cap.object)
+    run_process(env, client.read(cap))          # cold: disk + cache
+
+    spans = pair_spans(tracer.select("span"))   # raises if any unclosed
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    assert {"rpc.trans", "rpc.queue", "server.op",
+            "server.cache", "server.net"} <= set(by_name)
+    assert len(by_name["server.disk"]) == 1     # only the cold read
+    assert len(by_name["server.cache"]) == 2    # both reads memcpy
+    # Every server.op nests inside some rpc.trans window.
+    for op in by_name["server.op"]:
+        assert any(t.begin <= op.begin and op.end <= t.end
+                   for t in by_name["rpc.trans"])
+    # The op-latency histogram saw both reads.
+    hist = bullet.metrics.find("repro_server_op_seconds",
+                               server="bullet", op="READ")
+    assert hist is not None and hist.count == 2
+    assert hist.total == pytest.approx(
+        sum(s.duration for s in by_name["server.op"]
+            if dict(s.begin_fields).get("op") == "READ"))
+
+
+# ------------------------------------------------ shared-registry wiring
+
+
+def test_make_rig_shares_one_registry():
+    from repro.bench import make_rig
+
+    rig = make_rig(background_load=False, nfs_churn=False)
+    reg = rig.metrics
+    assert rig.bullet.metrics is reg
+    assert rig.nfs.metrics is reg
+    assert rig.rpc.metrics is reg
+    assert rig.bullet.cache.stats.registry is reg
+    # Disks and the segment registered their instruments there too.
+    assert reg.find("repro_disk_writes_total", disk="bullet-d0") is not None
+    assert reg.find("repro_ethernet_packets_total",
+                    segment="ether") is not None
+    assert reg.find("repro_freelist_free_units",
+                    area="bullet:disk") is not None
+
+
+def test_freelist_gauges_track_the_arena(env, bullet):
+    reg = bullet.metrics
+    disk_free = reg.find("repro_freelist_free_units", area="bullet:disk")
+    assert disk_free.value == bullet.disk_free.free_units
+    run_process(env, bullet.create(bytes(8 * KB), 1))
+    assert disk_free.value == bullet.disk_free.free_units
+    frag = reg.find("repro_freelist_fragmentation", area="bullet:disk")
+    assert frag.value == bullet.disk_free.external_fragmentation()
+    # The cache arena's gauges survive a compaction (arena rebuild).
+    cache_free = reg.find("repro_freelist_free_units", area="bullet:cache")
+    assert cache_free.value == bullet.cache.free_bytes
+    bullet.cache.compact()
+    run_process(env, bullet.create(bytes(4 * KB), 1))
+    assert cache_free.value == bullet.cache.free_bytes
+
+
+def test_retransmit_counter_lives_in_the_registry(env):
+    eth = Ethernet(env, EthernetProfile())
+    rpc = RpcTransport(env, eth, CpuProfile())
+    assert rpc.stats_retransmits == 0
+    rpc.stats_retransmits += 3
+    assert rpc.stats_retransmits == 3
+    assert rpc.metrics.value("repro_rpc_retransmits_total") == 3
+
+
+# ------------------------------------------------------ determinism
+
+
+def _seeded_workload(seed: int):
+    env = Environment()
+    bullet = make_bullet(env, master_seed=seed)
+    caps = [run_process(env, bullet.create(bytes((i + 1) * 100), 2))
+            for i in range(5)]
+    for cap in caps:
+        run_process(env, bullet.read(cap))
+    bullet.evict(caps[3].object)
+    run_process(env, bullet.read(caps[3]))
+    run_process(env, bullet.delete(caps[0]))
+    return bullet.metrics
+
+
+def test_same_seed_runs_export_byte_identically():
+    a = _seeded_workload(1989)
+    b = _seeded_workload(1989)
+    assert render_text(a) == render_text(b)
+    assert render_json(a) == render_json(b)
+
+
+# ---------------------------------------------------- bench emitter
+
+
+def test_bench_emitter_is_byte_identical(tmp_path):
+    from repro.obs.bench import canonical_json, run_bench, write_bench
+
+    one = run_bench(seed=7, repeats=1, sizes=[1, 1024])
+    two = run_bench(seed=7, repeats=1, sizes=[1, 1024])
+    assert canonical_json(one) == canonical_json(two)
+    inv = one["invariants"]
+    assert inv["cache_hits"] + inv["cache_misses"] == inv["cache_lookups"]
+    assert "1024" in one["fig2_bullet"]
+    assert "READ" in one["fig2_bullet"]["1024"]
+
+    path = tmp_path / "bench.json"
+    top = tmp_path / "top.json"
+    payload = write_bench(str(path), str(top), seed=7, repeats=1,
+                          sizes=[1, 1024])
+    assert path.read_bytes() == top.read_bytes()
+    assert json.loads(path.read_text()) == payload
+
+
+def test_committed_bench_artifact_is_current_schema():
+    repo = Path(__file__).resolve().parents[1]
+    top = json.loads((repo / "BENCH_PR4.json").read_text())
+    results = json.loads(
+        (repo / "benchmarks" / "results" / "bench.json").read_text())
+    assert top == results
+    assert top["meta"]["seed"] == 1989
+    for figure in ("fig2_bullet", "fig3_nfs"):
+        for row in top[figure].values():
+            for cell in row.values():
+                assert set(cell) == {"delay_ms", "bandwidth_kb_s"}
+    inv = top["invariants"]
+    assert inv["cache_hits"] + inv["cache_misses"] == inv["cache_lookups"]
