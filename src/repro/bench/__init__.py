@@ -5,9 +5,11 @@ from .harness import (
     PAPER_SIZES,
     Rig,
     bullet_figure2,
+    cold_read_disciplines,
     make_rig,
     nfs_figure3,
     throughput_vs_clients,
+    throughput_vs_workers,
     timed,
 )
 from .tables import MeasurementTable, ascii_chart, comparison_lines
@@ -20,6 +22,8 @@ __all__ = [
     "make_rig",
     "nfs_figure3",
     "throughput_vs_clients",
+    "throughput_vs_workers",
+    "cold_read_disciplines",
     "timed",
     "MeasurementTable",
     "ascii_chart",

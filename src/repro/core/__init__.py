@@ -13,9 +13,15 @@ from .compaction import CompactionReport, compact_disk, nightly_compaction
 from .freelist import Extent, ExtentFreeList
 from .inode import INODE_SIZE, DiskDescriptor, Inode, InodeTable
 from .layout import VolumeLayout, format_volume, render_layout
+from .locks import FileLockTable, LockGrant
 from .recovery import ScanReport, scan_volume
-from .replication import check_p_factor, replicated_file_write, replicated_inode_write
-from .server import OPCODES, BulletServer
+from .replication import (
+    ReplicatedWrite,
+    check_p_factor,
+    replicated_file_write,
+    replicated_inode_write,
+)
+from .server import OPCODES, BulletServer, VerifiedCapCache
 from .stats import ServerStats
 
 __all__ = [
@@ -34,12 +40,16 @@ __all__ = [
     "VolumeLayout",
     "format_volume",
     "render_layout",
+    "FileLockTable",
+    "LockGrant",
     "ScanReport",
     "scan_volume",
+    "ReplicatedWrite",
     "check_p_factor",
     "replicated_file_write",
     "replicated_inode_write",
     "OPCODES",
     "BulletServer",
+    "VerifiedCapCache",
     "ServerStats",
 ]

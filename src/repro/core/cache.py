@@ -46,7 +46,8 @@ class Rnode:
     age: int            # last-access tick (LRU)
     inserted: int       # insertion tick (FIFO ablation)
     data: bytes         # the file contents (whole and contiguous)
-    busy: bool = False  # pinned during load/transfer; not evictable
+    busy: bool = False  # mid-load (reserve/fill window); not evictable
+    pins: int = 0       # concurrent transfers copying out of the arena
 
 
 class CacheStats(RegistryStats):
@@ -179,6 +180,18 @@ class BulletCache:
         self._tick += 1
         rnode.age = self._tick
 
+    def pin(self, rnode: Rnode) -> None:
+        """Hold the rnode's arena extent across a timed transfer: a
+        pinned file cannot be evicted, so a concurrent miss can never
+        reuse the bytes a memcpy is still reading (torn read)."""
+        rnode.pins += 1
+
+    def unpin(self, rnode: Rnode) -> None:
+        if rnode.pins <= 0:
+            raise ConsistencyError(
+                f"unpin of rnode {rnode.number} which has no pins")
+        rnode.pins -= 1
+
     # ----------------------------------------------------------- mutation
 
     def insert(self, inode_number: int, data: bytes) -> Rnode:
@@ -258,6 +271,15 @@ class BulletCache:
         self._release(rnode)
 
     def _release(self, rnode: Rnode) -> None:
+        if rnode.pins > 0:
+            # Reaching here means a caller freed a file some transfer is
+            # still copying — exactly the race the lock plane exists to
+            # prevent, so fail loudly instead of tearing the read.
+            raise ConsistencyError(
+                f"releasing rnode {rnode.number} (inode "
+                f"{rnode.inode_number}) while {rnode.pins} transfers "
+                f"have it pinned"
+            )
         del self._rnodes[rnode.number]
         self._by_inode.pop(rnode.inode_number, None)
         if rnode.size > 0:
@@ -283,7 +305,9 @@ class BulletCache:
 
     def _evict_one(self) -> bool:
         """Evict the least desirable non-busy file; False if none."""
-        candidates = [r for r in self._rnodes.values() if not r.busy]
+        candidates = [
+            r for r in self._rnodes.values() if not r.busy and r.pins == 0
+        ]
         if not candidates:
             return False
         if self.policy == "lru":

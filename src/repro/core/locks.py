@@ -1,0 +1,193 @@
+"""Per-file readers–writer locks for the concurrent service plane.
+
+The paper's server is single-threaded: "one request is handled at a
+time", so CREATE/READ/DELETE and the 3 a.m. compaction job can never
+interleave and no synchronization is needed. The moment the serve loop
+becomes a worker pool (``BulletServer(workers=N)``), every invariant
+that single-threading provided for free — an extent is never freed
+under an in-flight READ, compaction never repoints an inode whose old
+extent a reader is still following, a CREATE's background replica
+writes land before anyone re-reads the extent from disk — must be
+restored explicitly. This module is that mechanism.
+
+:class:`FileLockTable` keys a readers–writer lock by inode number:
+
+* **FIFO-fair**: grants are queued in arrival order; a reader arriving
+  after a queued writer waits behind it, so writers cannot starve.
+* **Sim-aware**: ``acquire_read``/``acquire_write`` return a
+  :class:`LockGrant` event to ``yield``. An uncontended grant succeeds
+  immediately (zero simulated time), so at ``workers=1`` the lock plane
+  is timing-invisible and the paper-faithful figures are unchanged.
+* **Crash-safe**: a holder interrupted mid-operation releases in its
+  ``finally`` block (``Interrupt`` propagates through generators), and
+  a waiter interrupted while queued is cancelled by the same
+  :meth:`FileLockTable.release` call.
+* **Bounded**: a lock with no holders and no waiters is dropped from
+  the table, so the table's size tracks the set of *contended or held*
+  files, not every file ever touched.
+
+Everything is deterministic: grants fire through the event heap, whose
+ties break by insertion order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..errors import ConsistencyError
+from ..obs import MetricsRegistry
+from ..sim import Environment, Event
+
+__all__ = ["LockGrant", "FileLockTable"]
+
+#: Grant modes.
+READ = "read"
+WRITE = "write"
+
+
+class LockGrant(Event):
+    """One acquisition of a per-file lock.
+
+    The grant *is* the event the acquirer yields on; once it fires the
+    holder owns the lock in ``mode`` until it passes the grant back to
+    :meth:`FileLockTable.release`.
+    """
+
+    def __init__(self, env: Environment, key: int, mode: str):
+        super().__init__(env)
+        self.key = key
+        self.mode = mode
+        self.requested_at = env.now
+        self.released = False
+
+
+class _FileLock:
+    """State of one file's lock: active holders plus the FIFO queue."""
+
+    __slots__ = ("readers", "writer", "queue")
+
+    def __init__(self):
+        self.readers: set[LockGrant] = set()
+        self.writer: Optional[LockGrant] = None
+        self.queue: deque[LockGrant] = deque()
+
+    @property
+    def idle(self) -> bool:
+        return not self.readers and self.writer is None and not self.queue
+
+
+class FileLockTable:
+    """FIFO-fair readers–writer locks keyed by inode number."""
+
+    def __init__(self, env: Environment,
+                 metrics: Optional[MetricsRegistry] = None,
+                 owner: str = "bullet"):
+        self.env = env
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._locks: dict[int, _FileLock] = {}
+        self._wait_hist = registry.histogram(
+            "repro_lock_wait_seconds", server=owner)
+        self._acquired = {
+            mode: registry.counter(
+                "repro_lock_acquisitions_total", server=owner, mode=mode)
+            for mode in (READ, WRITE)
+        }
+        self._contended = registry.counter(
+            "repro_lock_contention_total", server=owner)
+        self._held = registry.gauge("repro_lock_held", server=owner)
+
+    # ------------------------------------------------------------ queries
+
+    def held_keys(self) -> list[int]:
+        """Inode numbers with an active holder (tests/monitoring)."""
+        return sorted(
+            key for key, lock in self._locks.items()
+            if lock.readers or lock.writer is not None
+        )
+
+    def waiters(self, key: int) -> int:
+        """Queued (not yet granted) acquisitions for ``key``."""
+        lock = self._locks.get(key)
+        return len(lock.queue) if lock is not None else 0
+
+    # ------------------------------------------------------------ acquire
+
+    def acquire_read(self, key: int) -> LockGrant:
+        """A shared grant on ``key``; yields immediately when no writer
+        holds or waits for the file."""
+        return self._acquire(key, READ)
+
+    def acquire_write(self, key: int) -> LockGrant:
+        """An exclusive grant on ``key``."""
+        return self._acquire(key, WRITE)
+
+    def _acquire(self, key: int, mode: str) -> LockGrant:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = _FileLock()
+        grant = LockGrant(self.env, key, mode)
+        admissible = (
+            lock.writer is None and not lock.queue
+            and (mode == READ or not lock.readers)
+        )
+        if admissible:
+            self._admit(lock, grant)
+        else:
+            self._contended.inc()
+            lock.queue.append(grant)
+        return grant
+
+    def _admit(self, lock: _FileLock, grant: LockGrant) -> None:
+        if grant.mode == READ:
+            lock.readers.add(grant)
+        else:
+            lock.writer = grant
+        self._acquired[grant.mode].inc()
+        self._wait_hist.observe(self.env.now - grant.requested_at)
+        self._held.set(len(self.held_keys()))
+        grant.succeed(grant)
+
+    # ------------------------------------------------------------ release
+
+    def release(self, grant: LockGrant) -> None:
+        """Give back a grant: active holder, or a queued waiter that was
+        interrupted before its turn. Idempotent per grant."""
+        if grant.released:
+            return
+        grant.released = True
+        lock = self._locks.get(grant.key)
+        if lock is None:
+            raise ConsistencyError(
+                f"release of unknown lock key {grant.key}")
+        if grant in lock.readers:
+            lock.readers.discard(grant)
+        elif lock.writer is grant:
+            lock.writer = None
+        else:
+            try:
+                lock.queue.remove(grant)
+            except ValueError:
+                raise ConsistencyError(
+                    f"grant for inode {grant.key} is neither held nor queued"
+                ) from None
+        self._promote(lock)
+        if lock.idle:
+            del self._locks[grant.key]
+        self._held.set(len(self.held_keys()))
+
+    def _promote(self, lock: _FileLock) -> None:
+        """Admit waiters from the head of the FIFO queue: either one
+        writer, or the maximal run of consecutive readers."""
+        while lock.queue:
+            head = lock.queue[0]
+            if head.mode == WRITE:
+                if lock.readers or lock.writer is not None:
+                    return
+                lock.queue.popleft()
+                self._admit(lock, head)
+                return
+            if lock.writer is not None:
+                return
+            lock.queue.popleft()
+            self._admit(lock, head)

@@ -14,13 +14,15 @@ never an inode pointing at garbage. The create path replies once
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..disk import MirroredDiskSet, VirtualDisk
 from ..errors import BadRequestError, ConsistencyError, ServerDownError
 from ..sim import CountOf, Environment, Event
 
-__all__ = ["replicated_file_write", "replicated_inode_write", "check_p_factor"]
+__all__ = ["ReplicatedWrite", "replicated_file_write",
+           "replicated_inode_write", "check_p_factor"]
 
 
 def check_p_factor(p_factor: int, mirror: MirroredDiskSet) -> None:
@@ -54,22 +56,35 @@ def _write_one_replica(env: Environment, disk: VirtualDisk,
     return disk.name
 
 
+@dataclass
+class ReplicatedWrite:
+    """An in-flight replicated write: the quorum event the create path
+    blocks on, plus the individual per-replica write processes so the
+    caller can observe the background stragglers (a ``p_factor=0``
+    CREATE replies before *any* replica is durable; failures past the
+    quorum used to vanish silently)."""
+
+    durable: Event
+    writes: list
+
+
 def replicated_file_write(env: Environment, mirror: MirroredDiskSet,
                           data_block: Optional[int], data: bytes,
                           inode_block: int, inode_block_bytes: bytes,
-                          p_factor: int) -> Event:
+                          p_factor: int) -> ReplicatedWrite:
     """Start data+inode writes on every live replica.
 
-    Returns an event firing once ``p_factor`` replicas are durable
-    (immediately for ``p_factor == 0``); the remaining replicas keep
-    writing in the background.
+    ``durable`` fires once ``p_factor`` replicas have completed both
+    steps (immediately for ``p_factor == 0``); the remaining replicas
+    keep writing in the background and stay observable via ``writes``.
     """
     writes = [
         env.process(_write_one_replica(env, disk, data_block, data,
                                        inode_block, inode_block_bytes))
         for disk in mirror.live_disks
     ]
-    return CountOf(env, writes, need=min(p_factor, len(writes)))
+    durable = CountOf(env, writes, need=min(p_factor, len(writes)))
+    return ReplicatedWrite(durable=durable, writes=writes)
 
 
 def replicated_inode_write(env: Environment, mirror: MirroredDiskSet,

@@ -12,13 +12,19 @@ The server exposes two equivalent planes:
   the full server logic with disk, cache, and CPU timing but no network.
   Tests and in-process composition (the directory server embedding a
   Bullet volume) use this.
-* **RPC plane** — a single-threaded service loop on the server's port;
-  clients use :class:`repro.client.BulletClient`. This is what the
-  paper's measurements exercise.
+* **RPC plane** — a service loop on the server's port; clients use
+  :class:`repro.client.BulletClient`. This is what the paper's
+  measurements exercise. With the default ``workers=1`` it is the
+  paper's single-threaded loop ("one request is handled at a time");
+  with ``workers=N`` the endpoint's inbox becomes an admission queue
+  feeding a pool of N worker processes, and the per-file lock plane
+  (:mod:`repro.core.locks`) restores the invariants single-threading
+  used to provide for free (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from ..capability import (
@@ -46,11 +52,12 @@ from .cache import BulletCache
 from .freelist import ExtentFreeList
 from .inode import InodeTable
 from .layout import VolumeLayout, format_volume, render_layout
+from .locks import FileLockTable
 from .recovery import ScanReport, scan_volume
 from .replication import check_p_factor, replicated_file_write, replicated_inode_write
 from .stats import ServerStats
 
-__all__ = ["BulletServer", "OPCODES"]
+__all__ = ["BulletServer", "VerifiedCapCache", "OPCODES"]
 
 
 #: RPC opcodes of the Bullet protocol.
@@ -65,6 +72,58 @@ OPCODES = {
 }
 
 _OPNAMES = {number: name for name, number in OPCODES.items()}
+
+
+class VerifiedCapCache:
+    """The bounded verified-capability cache.
+
+    "Capabilities can be cached to avoid decryption for each access" —
+    but the cache models a slice of finite server RAM, so it is capped
+    with LRU eviction, and it is indexed by object number so DELETE
+    invalidates one object's entries without rebuilding the whole set
+    (both fixed here; the old implementation was an unbounded ``set``
+    rebuilt on every delete).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise BadRequestError("cap cache needs at least one entry")
+        self.capacity = capacity
+        self._order: OrderedDict[tuple[int, int, int], None] = OrderedDict()
+        self._by_object: dict[int, set[tuple[int, int, int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def hit(self, key: tuple[int, int, int]) -> bool:
+        """Membership probe; refreshes the entry's recency on a hit."""
+        if key not in self._order:
+            return False
+        self._order.move_to_end(key)
+        return True
+
+    def add(self, key: tuple[int, int, int]) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+            return
+        self._order[key] = None
+        self._by_object.setdefault(key[0], set()).add(key)
+        while len(self._order) > self.capacity:
+            victim, _ = self._order.popitem(last=False)
+            remaining = self._by_object[victim[0]]
+            remaining.discard(victim)
+            if not remaining:
+                del self._by_object[victim[0]]
+
+    def forget_object(self, number: int) -> None:
+        """Invalidate every cached capability of one object (the DELETE
+        path) — O(entries for that object), not O(cache size)."""
+        for key in sorted(self._by_object.pop(number, ())):
+            del self._order[key]
+
+    def clear(self) -> None:
+        self._order.clear()
+        self._by_object.clear()
 
 
 class BulletServer:
@@ -82,8 +141,12 @@ class BulletServer:
         alloc_strategy: str = "first_fit",
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise BadRequestError(f"need at least one worker, got {workers}")
         self.env = env
+        self.workers = workers
         self.mirror = mirror
         self.testbed = testbed
         self.name = name
@@ -98,16 +161,24 @@ class BulletServer:
         self._secrets = SeededStream(master_seed, f"{name}:secrets")
         self._cache_policy = cache_policy
         self._alloc_strategy = alloc_strategy
-        self._verified_caps: set[tuple[int, int, int]] = set()
+        self._verified_caps = VerifiedCapCache(testbed.bullet.cap_cache_entries)
         self._lives: dict[int, int] = {}
         self._endpoint = None
-        self._serve_proc = None
+        self._serve_procs: list = []
         self._booted = False
+        self._inflight_count = 0
+        self._inflight = self.metrics.gauge(
+            "repro_server_inflight", server=name)
+        self._queue_depth = self.metrics.gauge(
+            "repro_server_queue_depth", server=name)
+        self._bg_write_failures = self.metrics.counter(
+            "repro_background_write_failures_total", server=name)
         # Set by boot():
         self.table: InodeTable
         self.layout: VolumeLayout
         self.disk_free: ExtentFreeList
         self.cache: BulletCache
+        self.locks: FileLockTable
         self.scan_report: ScanReport
 
     # ------------------------------------------------------------- setup
@@ -157,12 +228,21 @@ class BulletServer:
             number: self.testbed.bullet.max_lives
             for number, _inode in self.table.live_inodes()
         }
+        # The lock plane is volatile per-boot state, like the cache: a
+        # crash drops every hold (RAM is gone) and a reboot starts clean.
+        self.locks = FileLockTable(self.env, metrics=self.metrics,
+                                   owner=self.name)
+        self.metrics.gauge("repro_server_workers",
+                           server=self.name).set(self.workers)
         self._booted = True
         if self.transport is not None:
             self._endpoint = self.transport.register(self.port)
-            # The service loop runs for the server's whole life;
-            # crash() interrupts it (and a reboot starts a fresh one).
-            self._serve_proc = self.env.process(self._serve())
+            # The worker pool runs for the server's whole life; crash()
+            # interrupts every worker (and a reboot starts a fresh pool).
+            # All workers block on the same endpoint inbox, which is the
+            # admission queue: FIFO hand-off, no dispatcher process.
+            self._serve_procs = [self.env.process(self._serve())
+                                 for _ in range(self.workers)]
         self._trace("bullet", f"{self.name} booted", files=self.scan_report.live_files)
         return self.scan_report
 
@@ -178,11 +258,10 @@ class BulletServer:
             self._endpoint.crash()
         self._booted = False
         self._verified_caps.clear()
-        proc = self._serve_proc
-        if (proc is not None and proc.is_alive
-                and proc is not self.env.active_process):
-            proc.interrupt("server crash")
-        self._serve_proc = None
+        procs, self._serve_procs = self._serve_procs, []
+        for proc in procs:
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("server crash")
 
     # --------------------------------------------------------- local API
 
@@ -218,64 +297,139 @@ class BulletServer:
                 self.disk_free.free(start_block, blocks)
             raise
         self.table.get(number).index = rnode.number
-        yield self.env.timeout(size * cpu.memcpy_per_byte)
-        # Write-through: data extent then inode block, on every replica.
-        inode_block = self.table.block_of_inode(number)
-        durable = replicated_file_write(
-            self.env, self.mirror,
-            data_block=start_block if blocks else None,
-            data=bytes(data),
-            inode_block=inode_block,
-            inode_block_bytes=self.table.encode_block(inode_block),
-            p_factor=p_factor,
-        )
-        if p_factor > 0:
-            yield durable
+        # Hold the new file's write lock until *every* replica write has
+        # settled: no reader can chase the extent to disk, no compaction
+        # can move it, and no delete can free it while background
+        # replica writes are still in flight (at p_factor=0 the client
+        # holds a capability long before the data is durable anywhere).
+        write_grant = self.locks.acquire_write(number)
+        settling = False
+        try:
+            yield write_grant
+            yield self.env.timeout(size * cpu.memcpy_per_byte)
+            # Write-through: data extent then inode block, per replica.
+            inode_block = self.table.block_of_inode(number)
+            replicated = replicated_file_write(
+                self.env, self.mirror,
+                data_block=start_block if blocks else None,
+                data=bytes(data),
+                inode_block=inode_block,
+                inode_block_bytes=self.table.encode_block(inode_block),
+                p_factor=p_factor,
+            )
+            # Fork the settle watcher: it owns the write grant from here
+            # and accounts any background replica failure (satellite fix:
+            # p=0 used to drop those on the floor).
+            self.env.process(  # repro: allow(S001)
+                self._settle_create(number, write_grant, replicated.writes))
+            settling = True
+            if p_factor > 0:
+                yield replicated.durable
+        finally:
+            if not settling:
+                self.locks.release(write_grant)
         self.stats.creates += 1
         self.stats.bytes_created += size
         self._lives[number] = self.testbed.bullet.max_lives
         self._trace("bullet", "create", inode=number, size=size, p=p_factor)
         return mint_owner(self.port, number, secret)
 
+    def _settle_create(self, number: int, grant, writes):
+        """Process: watch a CREATE's replica writes to completion, then
+        drop the file's write lock. Failures beyond the quorum (all of
+        them, at p_factor=0) are counted, traced, and surfaced in
+        :meth:`status` instead of being silently defused."""
+        locks = self.locks
+        try:
+            for write in writes:
+                try:
+                    yield write
+                except ReproError as exc:
+                    self._bg_write_failures.inc()
+                    self._trace("bullet", "background replica write failed",
+                                inode=number, status=exc.status.name)
+        finally:
+            locks.release(grant)
+
     def read(self, cap: Capability):
         """Process: BULLET.READ — returns the whole file contents."""
         self._require_booted()
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
-        number, inode = yield from self._check(cap, RIGHT_READ)
-        rnode = self._cached_rnode(number, inode)
-        if rnode is None:
-            disk_span = self._span_begin("server.disk", inode=number,
-                                         size=inode.size)
-            rnode = yield from self._load_from_disk(number, inode)
-            self._span_end(disk_span, "server.disk")
-        self.cache.touch(rnode)
-        # Copy from the contiguous cache into the network buffers.
-        cache_span = self._span_begin("server.cache", inode=number,
-                                      size=inode.size)
-        yield self.env.timeout(inode.size * self.testbed.cpu.memcpy_per_byte)
-        self._span_end(cache_span, "server.cache")
-        self.stats.reads += 1
-        self.stats.bytes_read += inode.size
-        return rnode.data
+        locks = self.locks
+        grant = locks.acquire_read(cap.object)
+        try:
+            yield grant
+            number, inode = yield from self._check(cap, RIGHT_READ)
+            rnode = self._cached_rnode(number, inode)
+            if rnode is None:
+                # Miss: upgrade to the write lock before touching the
+                # disk, so the extent cannot move (compaction) or be
+                # freed (delete) under the read, and two concurrent
+                # misses cannot both reserve cache space for the file.
+                locks.release(grant)
+                grant = locks.acquire_write(cap.object)
+                yield grant
+                inode = self._revalidate(cap, RIGHT_READ)
+                # Re-probe statlessly: this request's miss is already
+                # accounted; another worker may have loaded the file
+                # while we waited for the lock.
+                rnode = self.cache.peek(number)
+            if rnode is None:
+                disk_span = self._span_begin("server.disk", inode=number,
+                                             size=inode.size)
+                rnode = yield from self._load_from_disk(number, inode)
+                self._span_end(disk_span, "server.disk")
+            self.cache.touch(rnode)
+            # Copy from the contiguous cache into the network buffers;
+            # pinned so no concurrent miss can evict it mid-copy.
+            cache_span = self._span_begin("server.cache", inode=number,
+                                          size=inode.size)
+            self.cache.pin(rnode)
+            try:
+                yield self.env.timeout(
+                    inode.size * self.testbed.cpu.memcpy_per_byte)
+            finally:
+                self.cache.unpin(rnode)
+            self._span_end(cache_span, "server.cache")
+            self.stats.reads += 1
+            self.stats.bytes_read += inode.size
+            return rnode.data
+        finally:
+            locks.release(grant)
 
     def size(self, cap: Capability):
         """Process: BULLET.SIZE — the file's size in bytes."""
         self._require_booted()
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
-        _number, inode = yield from self._check(cap, RIGHT_READ)
-        self.stats.sizes += 1
-        return inode.size
+        locks = self.locks
+        grant = locks.acquire_read(cap.object)
+        try:
+            yield grant
+            _number, inode = yield from self._check(cap, RIGHT_READ)
+            self.stats.sizes += 1
+            return inode.size
+        finally:
+            locks.release(grant)
 
     def delete(self, cap: Capability):
         """Process: BULLET.DELETE — discard the file.
 
         "Deleting a file involves checking the capability, freeing an
-        inode by zeroing it and writing it back to the disk."
+        inode by zeroing it and writing it back to the disk." The write
+        lock makes the free safe under concurrency: no in-flight READ
+        is still following the extent, and a CREATE's background
+        replica writes to it have settled.
         """
         self._require_booted()
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
-        number, inode = yield from self._check(cap, RIGHT_DELETE)
-        yield from self._destroy(number, inode)
+        locks = self.locks
+        grant = locks.acquire_write(cap.object)
+        try:
+            yield grant
+            number, inode = yield from self._check(cap, RIGHT_DELETE)
+            yield from self._destroy(number, inode)
+        finally:
+            locks.release(grant)
         self.stats.deletes += 1
         self._trace("bullet", "delete", inode=number)
 
@@ -303,18 +457,36 @@ class BulletServer:
         untouched."""
         self._require_booted()
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
-        number, inode = yield from self._check(cap, RIGHT_READ | RIGHT_MODIFY)
-        if offset < 0 or delete_bytes < 0 or offset + delete_bytes > inode.size:
-            raise BadRequestError(
-                f"modify range [{offset}, {offset + delete_bytes}) outside "
-                f"the {inode.size}-byte file"
-            )
-        rnode = self._cached_rnode(number, inode)
-        if rnode is None:
-            rnode = yield from self._load_from_disk(number, inode)
-        self.cache.touch(rnode)
-        old = rnode.data
-        new_data = old[:offset] + insert_data + old[offset + delete_bytes:]
+        locks = self.locks
+        grant = locks.acquire_read(cap.object)
+        try:
+            yield grant
+            number, inode = yield from self._check(
+                cap, RIGHT_READ | RIGHT_MODIFY)
+            if (offset < 0 or delete_bytes < 0
+                    or offset + delete_bytes > inode.size):
+                raise BadRequestError(
+                    f"modify range [{offset}, {offset + delete_bytes}) "
+                    f"outside the {inode.size}-byte file"
+                )
+            rnode = self._cached_rnode(number, inode)
+            if rnode is None:
+                # Same upgrade dance as the READ miss path.
+                locks.release(grant)
+                grant = locks.acquire_write(cap.object)
+                yield grant
+                inode = self._revalidate(cap, RIGHT_READ | RIGHT_MODIFY)
+                rnode = self.cache.peek(number)
+            if rnode is None:
+                rnode = yield from self._load_from_disk(number, inode)
+            self.cache.touch(rnode)
+            old = rnode.data
+            new_data = (old[:offset] + insert_data
+                        + old[offset + delete_bytes:])
+        finally:
+            # The source bytes are composed; the derived CREATE below
+            # runs without any hold on the source file.
+            locks.release(grant)
         new_cap = yield from self.create(new_data, p_factor)
         self.stats.modifies += 1
         self.stats.bytes_modified += len(new_data)
@@ -356,9 +528,18 @@ class BulletServer:
             if lives <= 0:
                 reclaimed.append(number)
         for number in reclaimed:
-            inode = self.table.get(number)
-            yield from self._destroy(number, inode)
-            self._trace("bullet", "aged out", inode=number)
+            grant = self.locks.acquire_write(number)
+            try:
+                yield grant
+                # Revalidate under the lock: a concurrent delete may
+                # have beaten us, or a touch resurrected the object.
+                inode = self.table.get(number)
+                if inode.free or self._lives.get(number, 1) > 0:
+                    continue
+                yield from self._destroy(number, inode)
+                self._trace("bullet", "aged out", inode=number)
+            finally:
+                self.locks.release(grant)
         return reclaimed
 
     def lives_of(self, inode_number: int) -> int:
@@ -392,6 +573,10 @@ class BulletServer:
             "cache_free_bytes": self.cache.free_bytes,
             "cache_hit_rate": self.cache.stats.hit_rate,
             "replicas_live": self.mirror.replica_count,
+            "workers": self.workers,
+            "requests_inflight": self._inflight_count,
+            "background_write_failures": self._bg_write_failures.value,
+            "verified_caps_cached": len(self._verified_caps),
             **self.stats.snapshot(),
         }
 
@@ -412,19 +597,27 @@ class BulletServer:
         cpu = self.testbed.cpu
         key = (cap.object, cap.rights, cap.check)
         self.stats.cap_checks += 1
-        if key in self._verified_caps:
+        if self._verified_caps.hit(key):
             self.stats.cap_check_cache_hits += 1
             yield self.env.timeout(cpu.capability_check_cached)
         else:
             yield self.env.timeout(cpu.capability_check)
+        inode = self._revalidate(cap, needed_rights)
+        self._verified_caps.add(key)
+        return cap.object, inode
+
+    def _revalidate(self, cap: Capability, needed_rights: int):
+        """The untimed tail of :meth:`_check`: resolve the capability
+        against current RAM state. Re-run after a lock upgrade — the
+        file may have been deleted (or its inode number reincarnated)
+        while this worker waited for the write lock."""
         if not 1 <= cap.object < len(self.table):
             raise NotFoundError(f"object {cap.object} out of range")
         inode = self.table.get(cap.object)
         if inode.free:
             raise NotFoundError(f"object {cap.object} does not exist")
         require(cap, inode.secret, needed_rights)
-        self._verified_caps.add(key)
-        return cap.object, inode
+        return inode
 
     def _cached_rnode(self, number: int, inode):
         """Cache probe via the inode's index field. The accounting lives
@@ -454,9 +647,7 @@ class BulletServer:
         inode.index = 0
 
     def _forget_caps(self, number: int) -> None:
-        self._verified_caps = {
-            key for key in self._verified_caps if key[0] != number
-        }
+        self._verified_caps.forget_object(number)
 
     def _require_booted(self) -> None:
         if not self._booted:
@@ -465,24 +656,37 @@ class BulletServer:
     # ------------------------------------------------------------ RPC plane
 
     def _serve(self):
-        """The single-threaded service loop (§3: the implementation is
-        deliberately simple; one request is handled at a time).
+        """One worker of the service pool.
 
-        crash() interrupts the loop wherever it is — waiting for a
+        At ``workers=1`` this is exactly the paper's single-threaded
+        service loop (§3: the implementation is deliberately simple; one
+        request is handled at a time). At ``workers=N``, N copies of
+        this process block on the same endpoint inbox — the admission
+        queue — and requests pipeline across the disk, memcpy, and
+        network phases under the per-file lock plane.
+
+        crash() interrupts every worker wherever it is — waiting for a
         request or halfway through serving one."""
         try:
             endpoint = self._endpoint
             while self._booted and endpoint is self._endpoint:
                 req = yield endpoint.getreq()
+                self._queue_depth.set(len(endpoint.inbox))
                 self._span_end(req.queue_span, "rpc.queue")
                 opname = _OPNAMES.get(req.opcode, str(req.opcode))
                 op_span = self._span_begin("server.op", op=opname,
                                            server=self.name)
                 started = self.env.now
+                self._inflight_count += 1
+                self._inflight.set(self._inflight_count)
                 try:
-                    reply = yield from self._dispatch(req)
-                except ReproError as exc:
-                    reply = self._error_reply(exc)
+                    try:
+                        reply = yield from self._dispatch(req)
+                    except ReproError as exc:
+                        reply = self._error_reply(exc)
+                finally:
+                    self._inflight_count -= 1
+                    self._inflight.set(self._inflight_count)
                 self._span_end(op_span, "server.op", status=reply.status)
                 self.metrics.histogram(
                     "repro_server_op_seconds", server=self.name, op=opname

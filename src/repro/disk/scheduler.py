@@ -11,6 +11,7 @@ classic disciplines are provided:
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from typing import Optional, Protocol
 
@@ -46,6 +47,12 @@ class ElevatorQueue:
     Requests are served in cylinder order in the current sweep
     direction; when no request remains ahead of the arm, the direction
     reverses. Ties (same cylinder) are FIFO via an insertion counter.
+
+    The pending set is a list kept sorted by ``(cylinder, counter)``, so
+    ``push`` is O(n) (``insort``'s shift) and ``pop`` is an O(log n)
+    bisect plus an O(n) deletion shift — versus the previous
+    implementation's two full scans plus an O(n) ``list.remove`` per
+    pop, which made a busy queue quadratic overall.
     """
 
     def __init__(self):
@@ -58,29 +65,38 @@ class ElevatorQueue:
 
     def push(self, request: _Schedulable) -> None:
         self._counter += 1
-        self._pending.append((request.cylinder, self._counter, request))
+        bisect.insort(self._pending,
+                      (request.cylinder, self._counter, request))
 
     def pop(self, current_cylinder: int) -> Optional[_Schedulable]:
         if not self._pending:
             return None
-        chosen = self._best_ahead(current_cylinder)
-        if chosen is None:
+        index = self._ahead_index(current_cylinder)
+        if index is None:
             self._direction = -self._direction
-            chosen = self._best_ahead(current_cylinder)
-        if chosen is None:
+            index = self._ahead_index(current_cylinder)
+        if index is None:
             # Unreachable while _pending is non-empty: one sweep
             # direction always sees at least one request.
             raise ConsistencyError("elevator queue found no request to serve")
-        self._pending.remove(chosen)
-        return chosen[2]
+        return self._pending.pop(index)[2]
 
-    def _best_ahead(self, current_cylinder: int):
-        """Closest request at or beyond the arm in the sweep direction."""
+    def _ahead_index(self, current_cylinder: int) -> Optional[int]:
+        """Index of the closest request at or beyond the arm in the
+        sweep direction; same-cylinder ties resolve to the oldest
+        request (lowest counter) in both directions."""
         if self._direction > 0:
-            ahead = [r for r in self._pending if r[0] >= current_cylinder]
-            return min(ahead, key=lambda r: (r[0], r[1])) if ahead else None
-        ahead = [r for r in self._pending if r[0] <= current_cylinder]
-        return max(ahead, key=lambda r: (r[0], -r[1])) if ahead else None
+            # First entry with cylinder >= arm; sorted order makes it
+            # the lowest such cylinder with the lowest counter.
+            index = bisect.bisect_left(self._pending, (current_cylinder,))
+            return index if index < len(self._pending) else None
+        # Highest cylinder <= arm: the entry just before the first one
+        # past the arm, then rewound to that cylinder's oldest request.
+        index = bisect.bisect_left(self._pending, (current_cylinder + 1,))
+        if index == 0:
+            return None
+        cylinder = self._pending[index - 1][0]
+        return bisect.bisect_left(self._pending, (cylinder,))
 
 
 def make_queue(discipline: str):

@@ -61,6 +61,16 @@ def main(argv=None) -> int:
                        help="bench artifact path")
     bench.add_argument("--top", default=None,
                        help="optional second copy (e.g. BENCH_PR4.json)")
+    pr5 = sub.add_parser("bench-pr5", help="run the worker-scaling and "
+                                           "disk-discipline experiments")
+    pr5.add_argument("--seed", type=int, default=1989)
+    pr5.add_argument("--duration", type=float, default=2.0,
+                     help="closed-loop window per worker count (sim s)")
+    pr5.add_argument("--results",
+                     default="benchmarks/results/bench_pr5.json",
+                     help="bench artifact path")
+    pr5.add_argument("--top", default=None,
+                     help="optional second copy (e.g. BENCH_PR5.json)")
     args = parser.parse_args(argv)
 
     if args.command == "bench":
@@ -69,6 +79,14 @@ def main(argv=None) -> int:
         from .bench import write_bench
         write_bench(args.results, args.top,
                     seed=args.seed, repeats=args.repeats)
+        print(f"wrote {args.results}"
+              + (f" and {args.top}" if args.top else ""))
+        return 0
+
+    if args.command == "bench-pr5":
+        from .bench import write_bench_pr5
+        write_bench_pr5(args.results, args.top,
+                        seed=args.seed, duration=args.duration)
         print(f"wrote {args.results}"
               + (f" and {args.top}" if args.top else ""))
         return 0

@@ -20,11 +20,13 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from ..bench import PAPER_SIZES, bullet_figure2, make_rig, nfs_figure3
+from ..bench import (PAPER_SIZES, bullet_figure2, cold_read_disciplines,
+                     make_rig, nfs_figure3, throughput_vs_workers)
 from ..errors import ConsistencyError
 from ..units import to_msec
 
-__all__ = ["run_bench", "write_bench", "canonical_json"]
+__all__ = ["run_bench", "run_bench_pr5", "write_bench", "write_bench_pr5",
+           "canonical_json"]
 
 #: Sizes used for the quick cache-policy ablation (kept small: the
 #: ablation is a smoke check, not a figure).
@@ -112,6 +114,57 @@ def run_bench(seed: int = 1989, repeats: int = 3,
         "invariants": _check_invariants(rig.metrics),
         "metrics": rig.metrics.snapshot(),
     }
+
+
+def run_bench_pr5(seed: int = 1989, duration: float = 2.0) -> dict:
+    """The PR 5 experiments: closed-loop cache-hit throughput as the
+    worker pool grows, and the cold-read storm under FCFS vs elevator
+    disk scheduling. Raises :class:`ConsistencyError` when scaling is
+    not strictly increasing, so CI fails loudly."""
+    worker_counts = (1, 2, 4)
+    throughput = throughput_vs_workers(worker_counts=worker_counts,
+                                       duration=duration, seed=seed)
+    ordered = [throughput[workers] for workers in worker_counts]
+    if not all(a < b for a, b in zip(ordered, ordered[1:])):
+        raise ConsistencyError(
+            f"worker scaling not strictly increasing: {throughput}"
+        )
+    # 24 files keeps the per-disk queues deep enough that the elevator
+    # actually reorders (at larger counts the storm's stride pattern
+    # degenerates to arrival order and both disciplines tie).
+    storm_files = 24
+    disciplines = cold_read_disciplines(n_files=storm_files, seed=seed)
+    return {
+        "meta": {
+            "paper": "The Design of a High-Performance File Server "
+                     "(van Renesse, Tanenbaum, Wilschut; ICDCS 1989)",
+            "experiment": "concurrent service plane: worker-pool "
+                          "throughput scaling and disk-scheduler "
+                          "disciplines under cold-read load",
+            "seed": seed,
+            "duration_s": duration,
+            "worker_counts": list(worker_counts),
+            "storm_files": storm_files,
+        },
+        "throughput_vs_workers_ops_per_sec": {
+            str(workers): throughput[workers] for workers in worker_counts
+        },
+        "cold_read_disciplines": disciplines,
+        "invariants": {
+            "worker_scaling": "ops/sec strictly increasing 1 -> 2 -> 4",
+        },
+    }
+
+
+def write_bench_pr5(results_path: str, top_path: Optional[str] = None,
+                    seed: int = 1989, duration: float = 2.0) -> dict:
+    """Run the PR 5 bench and write the canonical JSON."""
+    payload = run_bench_pr5(seed=seed, duration=duration)
+    text = canonical_json(payload)
+    for path in filter(None, (results_path, top_path)):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return payload
 
 
 def write_bench(results_path: str, top_path: Optional[str] = None,

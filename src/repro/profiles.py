@@ -180,6 +180,10 @@ class BulletProfile:
     # reclaims the file. The directory service touches everything it can
     # reach, so only orphans die.
     max_lives: int = 24
+    # Capacity of the verified-capability cache ("capabilities can be
+    # cached to avoid decryption for each access"). It models a finite
+    # slice of server RAM, so it is LRU-bounded rather than unbounded.
+    cap_cache_entries: int = 4096
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,8 @@ scaled-down one (32 MB disks, 2 MB cache) so volume formatting and
 scans stay fast while exercising identical code paths.
 """
 
+import os
+
 import pytest
 
 from repro.disk import MirroredDiskSet, VirtualDisk
@@ -40,10 +42,17 @@ def small_testbed(disk: DiskProfile = None, **bullet_overrides) -> Testbed:
     return Testbed(disk=disk or SMALL_DISK, bullet=bullet)
 
 
+#: CI's concurrency job sets REPRO_TEST_WORKERS=4 to re-run the whole
+#: tier-1 suite against a worker pool; tests that specifically assert
+#: single-threaded semantics pass workers=1 explicitly.
+DEFAULT_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "1"))
+
+
 def make_bullet(env: Environment, n_disks: int = 2, testbed: Testbed = None,
                 transport=None, **server_kwargs) -> BulletServer:
     """A formatted, booted Bullet server on fresh small disks."""
     testbed = testbed or small_testbed()
+    server_kwargs.setdefault("workers", DEFAULT_WORKERS)
     disks = [
         VirtualDisk(env, testbed.disk, name=f"bd{i}") for i in range(n_disks)
     ]

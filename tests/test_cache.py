@@ -271,3 +271,38 @@ def test_rnode_exhaustion_all_busy_raises():
     with pytest.raises(NoSpaceError):
         cache.insert(3, b"c")
     cache.check_invariants()
+
+
+def test_pinned_rnode_is_not_evictable():
+    """A pin holds the arena extent across a timed transfer: eviction
+    pressure must skip pinned files (and fail if nothing else can go)."""
+    from repro.errors import ConsistencyError
+
+    cache = make_cache(capacity=100, rnodes=4)
+    rnode = cache.insert(1, b"x" * 60)
+    cache.pin(rnode)
+    with pytest.raises(NoSpaceError):
+        cache.insert(2, b"y" * 60)  # only eviction candidate is pinned
+    cache.unpin(rnode)
+    cache.insert(2, b"y" * 60)  # now 1 is evictable
+    assert cache.peek(1) is None
+    assert cache.peek(2) is not None
+    cache.check_invariants()
+
+
+def test_release_while_pinned_is_a_consistency_error():
+    """Freeing a file some transfer is still copying is exactly the
+    torn-read race the lock plane prevents — fail loudly, never tear."""
+    from repro.errors import ConsistencyError
+
+    cache = make_cache()
+    rnode = cache.insert(1, b"abc")
+    cache.pin(rnode)
+    cache.pin(rnode)  # pins nest (two overlapping reads of one file)
+    cache.unpin(rnode)
+    with pytest.raises(ConsistencyError):
+        cache.remove(1)
+    cache.unpin(rnode)
+    cache.remove(1)
+    with pytest.raises(ConsistencyError):
+        cache.unpin(rnode)  # no pins left to drop

@@ -325,6 +325,80 @@ def test_elevator_ties_fifo():
     assert q.pop(5).tag == "second"
 
 
+def test_elevator_ties_fifo_on_down_sweep():
+    """Same-cylinder ties must be FIFO in *both* sweep directions."""
+    q = ElevatorQueue()
+    q.push(_Req(10, "low"))        # forces the up sweep to exhaust first
+    q.push(_Req(3, "older"))
+    q.push(_Req(3, "newer"))
+    assert q.pop(10).tag == "low"  # arm at 10, up sweep
+    # Nothing ahead going up: direction reverses at cylinder 10.
+    assert q.pop(10).tag == "older"
+    assert q.pop(3).tag == "newer"
+    assert q.pop(3) is None
+
+
+def test_elevator_down_sweep_prefers_highest_cylinder_behind_arm():
+    q = ElevatorQueue()
+    for tag, cyl in enumerate((2, 8, 5)):
+        q.push(_Req(cyl, tag))
+    q.push(_Req(90, "ahead"))
+    assert q.pop(60).tag == "ahead"     # up sweep first
+    # Reversed: serve 8, 5, 2 — descending cylinder order.
+    assert [q.pop(90).cylinder, q.pop(8).cylinder, q.pop(5).cylinder] \
+        == [8, 5, 2]
+
+
+class _ReferenceElevator:
+    """The pre-rewrite O(n²) implementation, kept as the behavioral
+    oracle: the bisect-based queue must pop identically."""
+
+    def __init__(self):
+        self._pending = []
+        self._counter = 0
+        self._direction = 1
+
+    def push(self, request):
+        self._counter += 1
+        self._pending.append((request.cylinder, self._counter, request))
+
+    def pop(self, current_cylinder):
+        if not self._pending:
+            return None
+        chosen = self._best_ahead(current_cylinder)
+        if chosen is None:
+            self._direction = -self._direction
+            chosen = self._best_ahead(current_cylinder)
+        self._pending.remove(chosen)
+        return chosen[2]
+
+    def _best_ahead(self, current_cylinder):
+        if self._direction > 0:
+            ahead = [r for r in self._pending if r[0] >= current_cylinder]
+            return min(ahead, key=lambda r: (r[0], r[1])) if ahead else None
+        ahead = [r for r in self._pending if r[0] <= current_cylinder]
+        return max(ahead, key=lambda r: (r[0], -r[1])) if ahead else None
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("push"), st.integers(min_value=0, max_value=30)),
+    st.tuples(st.just("pop"), st.integers(min_value=0, max_value=30)),
+), max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_elevator_rewrite_matches_reference(script):
+    fast, slow = ElevatorQueue(), _ReferenceElevator()
+    tag = 0
+    for action, value in script:
+        if action == "push":
+            fast.push(_Req(value, tag))
+            slow.push(_Req(value, tag))
+            tag += 1
+        else:
+            a, b = fast.pop(value), slow.pop(value)
+            assert (a.tag if a else None) == (b.tag if b else None)
+    assert len(fast) == len(slow._pending)
+
+
 def test_make_queue_factory():
     assert isinstance(make_queue("fcfs"), FcfsQueue)
     assert isinstance(make_queue("elevator"), ElevatorQueue)

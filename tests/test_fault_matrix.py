@@ -43,13 +43,14 @@ RETRY = RetryPolicy(max_attempts=10, base_delay=0.2, multiplier=2.0,
 class World:
     """One networked test world plus its fault-plane bookkeeping."""
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int, **server_kwargs):
         self.seed = seed
         self.env = Environment()
         self.tracer = Tracer(self.env, categories={"fault", "retry"})
         self.eth = Ethernet(self.env, EthernetProfile())
         self.rpc = RpcTransport(self.env, self.eth, CpuProfile())
-        self.bullet = make_bullet(self.env, transport=self.rpc)
+        self.bullet = make_bullet(self.env, transport=self.rpc,
+                                  **server_kwargs)
         self.client = BulletClient(
             self.env, self.rpc, self.bullet.port, timeout=0.5,
             retry=RETRY, retry_stream=SeededStream(seed, "client-retry"),
@@ -285,3 +286,72 @@ def test_directory_lookup_retries_through_partition(seed):
     assert done.ok
     assert done.value == file_cap
     assert names.retrier.retries > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stress_worker_pool_flaky_disk_online_compaction(seed):
+    """The three-way stress cell this PR adds: a workers=4 pool serving
+    concurrent clients, a flaky extent on the primary disk, and an
+    online compaction pass — all at once. The lock plane must keep
+    every read intact (failover absorbs the media errors), compaction
+    must survive mid-move replica errors by skipping, and the
+    reboot-and-checksum audit must find zero quarantined inodes."""
+    from repro.core import compact_disk
+
+    world = World(seed, workers=4)
+    env = world.env
+    bullet = world.bullet
+    # Fragment the volume so the pass has real moves to make.
+    extra = []
+    for i in range(8):
+        payload = bytes([0x20 + i]) * (2048 + 256 * i)
+        cap = run_process(env, bullet.create(payload, 2))
+        extra.append((cap, payload))
+    for cap, _payload in extra[::2]:
+        run_process(env, bullet.delete(cap))
+    for cap, payload in extra[1::2]:
+        world.expected[cap] = payload
+
+    t0 = env.now
+    ctrl = world.controller(_plan_for(world, "disk.flaky", t0)).start()
+    for cap in world.expected:
+        bullet.evict(cap.object)  # every client read goes to disk
+
+    done = []
+
+    def client_ops(index):
+        stream = SeededStream(seed * 100 + index, "stress")
+        items = list(world.expected.items())
+        for _step in range(6):
+            cap, payload = items[stream.randint(0, len(items) - 1)]
+            data = yield from world.client.read(cap)
+            assert data == payload
+        done.append(index)
+
+    def compaction_mid_fault():
+        yield env.timeout(0.15)  # start inside the flaky window
+        report = yield from compact_disk(bullet)
+        return report
+
+    compaction = env.process(compaction_mid_fault())
+    for index in range(4):
+        env.process(client_ops(index))
+
+    def scenario():
+        yield compaction
+        yield env.timeout(max(t0 + 4.0 - env.now, 0.0))
+        return True
+
+    assert world.run_to_completion(scenario()) is True
+    assert len(done) == 4, "a client hung or died mid-stress"
+    assert ctrl.firings, "the flaky window never opened"
+    bullet.disk_free.check_invariants()
+
+    # Reboot purely from disk: zero quarantined inodes, every byte back.
+    bullet.crash()
+    reborn = BulletServer(env, bullet.mirror, bullet.testbed, name="bullet")
+    report = env.run(until=env.process(reborn.boot()))
+    assert report.quarantined == []
+    for cap, payload in world.expected.items():
+        assert run_process(env, reborn.read(cap)) == payload
+    reborn.disk_free.check_invariants()

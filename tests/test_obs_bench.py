@@ -265,3 +265,30 @@ def test_committed_bench_artifact_is_current_schema():
                 assert set(cell) == {"delay_ms", "bandwidth_kb_s"}
     inv = top["invariants"]
     assert inv["cache_hits"] + inv["cache_misses"] == inv["cache_lookups"]
+
+
+def test_bench_pr5_emitter_is_byte_identical():
+    from repro.obs.bench import canonical_json, run_bench_pr5
+
+    one = run_bench_pr5(seed=7, duration=0.5)
+    two = run_bench_pr5(seed=7, duration=0.5)
+    assert canonical_json(one) == canonical_json(two)
+    scaling = one["throughput_vs_workers_ops_per_sec"]
+    assert scaling["1"] < scaling["2"] < scaling["4"]
+
+
+def test_committed_bench_pr5_artifact_is_current_schema():
+    repo = Path(__file__).resolve().parents[1]
+    top = json.loads((repo / "BENCH_PR5.json").read_text())
+    results = json.loads(
+        (repo / "benchmarks" / "results" / "bench_pr5.json").read_text())
+    assert top == results
+    assert top["meta"]["seed"] == 1989
+    scaling = top["throughput_vs_workers_ops_per_sec"]
+    assert scaling["1"] < scaling["2"] < scaling["4"]
+    for discipline in ("fcfs", "elevator"):
+        cell = top["cold_read_disciplines"][discipline]
+        assert set(cell) == {"ops_per_sec", "seeks"}
+    # The elevator must be load-bearing in the committed artifact.
+    assert (top["cold_read_disciplines"]["elevator"]["seeks"]
+            < top["cold_read_disciplines"]["fcfs"]["seeks"])
