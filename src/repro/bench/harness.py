@@ -245,7 +245,7 @@ def throughput_vs_clients(client_counts, file_size: int = 4 * KB,
 
         def client_loop(index):
             while True:
-                yield env.process(client.read(caps[index]))
+                yield from client.read(caps[index])
                 completed[index] += 1
 
         start = env.now
@@ -290,7 +290,7 @@ def throughput_vs_workers(worker_counts=(1, 2, 4), n_clients: int = 8,
 
         def client_loop(index):
             while True:
-                yield env.process(client.read(caps[index]))
+                yield from client.read(caps[index])
                 completed[index] += 1
 
         start = env.now
@@ -331,7 +331,7 @@ def cold_read_disciplines(n_clients: int = 8, n_files: int = 48,
             # concurrent misses hit scattered cylinders.
             for step in range(n_files):
                 cap = caps[(index * (n_files // n_clients) + step) % n_files]
-                yield env.process(client.read(cap))
+                yield from client.read(cap)
                 bullet.evict(cap.object)
                 done[0] += 1
 

@@ -58,7 +58,7 @@ OBJECT_MASK = (1 << OBJECT_BITS) - 1
 CAP_WIRE_SIZE = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Capability:
     """An unforgeable reference to one object on one server."""
 

@@ -66,8 +66,8 @@ class BulletClient:
 
     def _call(self, request: RpcRequest, idempotent: bool = True):
         if self.retrier is None:
-            reply = yield self.env.process(
-                self.rpc.trans(self.port, request, timeout=self.timeout)
+            reply = yield from self.rpc.trans(
+                self.port, request, timeout=self.timeout
             )
         else:
             if not idempotent:

@@ -53,8 +53,8 @@ class DirectoryClient:
                              body=body)
         idempotent = opcode in self._IDEMPOTENT
         if self.retrier is None:
-            reply = yield self.env.process(
-                self.rpc.trans(port, request, timeout=self.timeout)
+            reply = yield from self.rpc.trans(
+                port, request, timeout=self.timeout
             )
         else:
             if not idempotent:

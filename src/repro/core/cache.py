@@ -94,6 +94,9 @@ class BulletCache:
         self.capacity = capacity_bytes
         self.policy = policy
         self.stats = CacheStats(metrics, cache=owner)
+        self._s_lookups = self.stats.handle("lookups")
+        self._s_hits = self.stats.handle("hits")
+        self._s_misses = self.stats.handle("misses")
         #: Called with the evicted file's inode number, so the server can
         #: clear the inode's index field.
         self.on_evict = on_evict
@@ -134,11 +137,11 @@ class BulletCache:
     def lookup(self, inode_number: int) -> Optional[Rnode]:
         """The rnode caching ``inode_number``, or None (counts hit/miss)."""
         rnode = self._by_inode.get(inode_number)
-        self.stats.lookups += 1
+        self._s_lookups.inc(1)
         if rnode is None:
-            self.stats.misses += 1
+            self._s_misses.inc(1)
         else:
-            self.stats.hits += 1
+            self._s_hits.inc(1)
         return rnode
 
     def probe_slot(self, inode_number: int, index: int) -> Optional[Rnode]:
@@ -150,9 +153,9 @@ class BulletCache:
         cache is the single counting authority and
         ``hits + misses == lookups`` holds by construction.
         """
-        self.stats.lookups += 1
+        self._s_lookups.inc(1)
         if index == 0:
-            self.stats.misses += 1
+            self._s_misses.inc(1)
             return None
         rnode = self.get_slot(index)
         if rnode.inode_number != inode_number:
@@ -160,7 +163,7 @@ class BulletCache:
                 f"inode.index out of sync: slot {index} caches inode "
                 f"{rnode.inode_number}, expected {inode_number}"
             )
-        self.stats.hits += 1
+        self._s_hits.inc(1)
         return rnode
 
     def peek(self, inode_number: int) -> Optional[Rnode]:

@@ -30,8 +30,12 @@ INODE_SIZE = 16
 SECRET_BYTES = 6
 MAX_FILE_SIZE = (1 << 32) - 1
 
+#: On-disk form of a free inode; format/boot scans touch thousands of
+#: these, so both codec directions special-case it.
+_FREE_INODE_BYTES = bytes(INODE_SIZE)
 
-@dataclass
+
+@dataclass(slots=True)
 class Inode:
     """One resident inode. ``secret == 0`` means the inode is free."""
 
@@ -47,6 +51,8 @@ class Inode:
     def encode(self) -> bytes:
         """The 16-byte on-disk form. The cache index is volatile and is
         written as zero."""
+        if self.secret == 0 and self.start_block == 0 and self.size == 0:
+            return _FREE_INODE_BYTES
         if not 0 <= self.secret < (1 << 48):
             raise BadRequestError(f"inode secret out of range: {self.secret:#x}")
         if not 0 <= self.size <= MAX_FILE_SIZE:
@@ -62,6 +68,8 @@ class Inode:
     def decode(cls, data: bytes) -> "Inode":
         if len(data) != INODE_SIZE:
             raise BadRequestError(f"inode must be {INODE_SIZE} bytes, got {len(data)}")
+        if data == _FREE_INODE_BYTES:
+            return cls()
         return cls(
             secret=int.from_bytes(data[0:6], "big"),
             index=int.from_bytes(data[6:8], "big"),

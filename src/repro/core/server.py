@@ -157,6 +157,17 @@ class BulletServer:
         #: private otherwise, so a standalone server still self-reports.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.stats = ServerStats(self.metrics, server=name)
+        # Hot-path instrument handles: the facade's attribute protocol
+        # and the registry's label canonicalization are per-call costs
+        # the serve loop should not pay (see RegistryStats.handle).
+        self._c_reads = self.stats.handle("reads")
+        self._c_bytes_read = self.stats.handle("bytes_read")
+        self._c_cap_checks = self.stats.handle("cap_checks")
+        self._c_cap_check_cache_hits = self.stats.handle(
+            "cap_check_cache_hits")
+        self._c_errors = self.stats.handle("errors")
+        self._op_seconds: dict = {}     # opname -> Histogram
+        self._error_counters: dict = {}  # status name -> Counter
         self._tracer = tracer
         self._secrets = SeededStream(master_seed, f"{name}:secrets")
         self._cache_policy = cache_policy
@@ -331,7 +342,9 @@ class BulletServer:
         self.stats.creates += 1
         self.stats.bytes_created += size
         self._lives[number] = self.testbed.bullet.max_lives
-        self._trace("bullet", "create", inode=number, size=size, p=p_factor)
+        if self._tracer is not None:
+            self._trace("bullet", "create", inode=number, size=size,
+                        p=p_factor)
         return mint_owner(self.port, number, secret)
 
     def _settle_create(self, number: int, grant, writes):
@@ -360,6 +373,7 @@ class BulletServer:
         try:
             yield grant
             number, inode = yield from self._check(cap, RIGHT_READ)
+            tracing = self._tracer is not None
             rnode = self._cached_rnode(number, inode)
             if rnode is None:
                 # Miss: upgrade to the write lock before touching the
@@ -375,24 +389,28 @@ class BulletServer:
                 # while we waited for the lock.
                 rnode = self.cache.peek(number)
             if rnode is None:
-                disk_span = self._span_begin("server.disk", inode=number,
-                                             size=inode.size)
+                disk_span = self._span_begin(
+                    "server.disk", inode=number, size=inode.size
+                ) if tracing else 0
                 rnode = yield from self._load_from_disk(number, inode)
-                self._span_end(disk_span, "server.disk")
+                if tracing:
+                    self._span_end(disk_span, "server.disk")
             self.cache.touch(rnode)
             # Copy from the contiguous cache into the network buffers;
             # pinned so no concurrent miss can evict it mid-copy.
-            cache_span = self._span_begin("server.cache", inode=number,
-                                          size=inode.size)
+            cache_span = self._span_begin(
+                "server.cache", inode=number, size=inode.size
+            ) if tracing else 0
             self.cache.pin(rnode)
             try:
                 yield self.env.timeout(
                     inode.size * self.testbed.cpu.memcpy_per_byte)
             finally:
                 self.cache.unpin(rnode)
-            self._span_end(cache_span, "server.cache")
-            self.stats.reads += 1
-            self.stats.bytes_read += inode.size
+            if tracing:
+                self._span_end(cache_span, "server.cache")
+            self._c_reads.inc(1)
+            self._c_bytes_read.inc(inode.size)
             return rnode.data
         finally:
             locks.release(grant)
@@ -431,7 +449,8 @@ class BulletServer:
         finally:
             locks.release(grant)
         self.stats.deletes += 1
-        self._trace("bullet", "delete", inode=number)
+        if self._tracer is not None:
+            self._trace("bullet", "delete", inode=number)
 
     def _destroy(self, number: int, inode):
         """Free an inode and its extent, write the change through."""
@@ -469,6 +488,7 @@ class BulletServer:
                     f"modify range [{offset}, {offset + delete_bytes}) "
                     f"outside the {inode.size}-byte file"
                 )
+            tracing = self._tracer is not None
             rnode = self._cached_rnode(number, inode)
             if rnode is None:
                 # Same upgrade dance as the READ miss path.
@@ -596,9 +616,9 @@ class BulletServer:
         """
         cpu = self.testbed.cpu
         key = (cap.object, cap.rights, cap.check)
-        self.stats.cap_checks += 1
+        self._c_cap_checks.inc(1)
         if self._verified_caps.hit(key):
-            self.stats.cap_check_cache_hits += 1
+            self._c_cap_check_cache_hits.inc(1)
             yield self.env.timeout(cpu.capability_check_cached)
         else:
             yield self.env.timeout(cpu.capability_check)
@@ -672,10 +692,12 @@ class BulletServer:
             while self._booted and endpoint is self._endpoint:
                 req = yield endpoint.getreq()
                 self._queue_depth.set(len(endpoint.inbox))
-                self._span_end(req.queue_span, "rpc.queue")
+                tracing = self._tracer is not None
+                if tracing:
+                    self._span_end(req.queue_span, "rpc.queue")
                 opname = _OPNAMES.get(req.opcode, str(req.opcode))
                 op_span = self._span_begin("server.op", op=opname,
-                                           server=self.name)
+                                           server=self.name) if tracing else 0
                 started = self.env.now
                 self._inflight_count += 1
                 self._inflight.set(self._inflight_count)
@@ -687,13 +709,20 @@ class BulletServer:
                 finally:
                     self._inflight_count -= 1
                     self._inflight.set(self._inflight_count)
-                self._span_end(op_span, "server.op", status=reply.status)
-                self.metrics.histogram(
-                    "repro_server_op_seconds", server=self.name, op=opname
-                ).observe(self.env.now - started)
-                net_span = self._span_begin("server.net", op=opname)
-                yield self.env.process(endpoint.putrep(req, reply))
-                self._span_end(net_span, "server.net")
+                if tracing:
+                    self._span_end(op_span, "server.op", status=reply.status)
+                hist = self._op_seconds.get(opname)
+                if hist is None:
+                    hist = self.metrics.histogram(
+                        "repro_server_op_seconds", server=self.name,
+                        op=opname)
+                    self._op_seconds[opname] = hist
+                hist.observe(self.env.now - started)
+                net_span = (self._span_begin("server.net", op=opname)
+                            if tracing else 0)
+                yield from endpoint.putrep(req, reply)
+                if tracing:
+                    self._span_end(net_span, "server.net")
         except Interrupt:
             return
 
@@ -703,11 +732,16 @@ class BulletServer:
         ``stats.errors`` and the per-status registry family
         ``repro_server_error_replies_total`` cannot drift apart no
         matter how many serve-loop sites exist (the PR 4 bugfix)."""
-        self.stats.errors += 1
-        self.metrics.counter(
-            "repro_server_error_replies_total",
-            server=self.name, status=exc.status.name,
-        ).inc()
+        self._c_errors.inc(1)
+        status = exc.status.name
+        counter = self._error_counters.get(status)
+        if counter is None:
+            counter = self.metrics.counter(
+                "repro_server_error_replies_total",
+                server=self.name, status=status,
+            )
+            self._error_counters[status] = counter
+        counter.inc()
         self._trace("bullet", "error reply", status=exc.status.name)
         return RpcTransport.reply_for_error(exc)
 
@@ -748,6 +782,9 @@ class BulletServer:
             self._tracer.emit(category, message, **fields)
 
     def _span_begin(self, name: str, **fields) -> int:
+        # Call sites in hot loops pre-check self._tracer so the kwargs
+        # dict is never built when tracing is off; this fallback check
+        # keeps cold sites correct.
         if self._tracer is None:
             return 0
         return self._tracer.begin_span("span", name, **fields)

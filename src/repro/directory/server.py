@@ -175,7 +175,8 @@ class DirectoryServer:
         yield self.disk.write(1 + slot, record.encode())
         self._slots[slot] = record
         self._rows_cache[slot] = rows
-        self._trace("directory", "create_directory", slot=slot)
+        if self._tracer is not None:
+            self._trace("directory", "create_directory", slot=slot)
         return mint_owner(self.port, slot + 1, secret)
 
     def lookup(self, dir_cap: Capability, name: str):

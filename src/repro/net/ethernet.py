@@ -54,6 +54,12 @@ class Ethernet:
         self.profile = profile
         self.name = name
         self.stats = EthernetStats(metrics, segment=name)
+        # Direct counter handles for the per-fragment hot loop (the
+        # facade's attribute protocol costs a getattr+setattr per bump).
+        self._packets = self.stats.handle("packets")
+        self._payload_bytes = self.stats.handle("payload_bytes")
+        self._wire_time = self.stats.handle("wire_time")
+        self._background_packets = self.stats.handle("background_packets")
         self._medium = Resource(env, capacity=1)
         self._tracer = tracer
         self._stream = stream
@@ -155,33 +161,88 @@ class Ethernet:
         fragments, so a message is complete once every index has arrived
         (Amoeba's FLIP did fragment-level recovery the same way).
         """
-        payload = self.profile.max_payload
+        env = self.env
+        profile = self.profile
+        payload = profile.max_payload
+        overhead = profile.per_packet_overhead
+        wire_time = profile.wire_time
         total = self.packets_for(nbytes)
+        last_chunk = nbytes - payload * (total - 1) if nbytes else 0
+        # Only two distinct fragment sizes exist per message (full
+        # payload and the tail), so their wire times are computed once.
+        wire_full = wire_time(payload)
+        wire_last = wire_time(last_chunk)
         if indices is None:
             indices = range(total)
+        idx = list(indices)
+        n = len(idx)
         lost = []
-        for index in indices:
-            if index == total - 1:
-                chunk = nbytes - payload * (total - 1) if nbytes else 0
-            else:
-                chunk = payload
+        i = 0
+        while i < n:
+            # Analytic segment: collapse a run of fragments into one
+            # "medium busy until T" timeout when provably unobservable —
+            # the transfer is deterministic (no loss source, no latency
+            # spike: nothing draws RNG or forks the outcome), the medium
+            # is free (no holder whose release we would reorder against),
+            # and no other event fires strictly before the segment ends
+            # (peek/solo guard, see sim.core). Timing is the same left
+            # fold of per-hop delays the exact path would walk, so the
+            # resume instant is bit-identical.
+            if (env.fast and env._solo and not self.lossy
+                    and self._fault_extra_latency == 0.0
+                    and self._medium.idle):
+                horizon = env.peek()
+                t = env.now
+                j = i
+                while j < n:
+                    wire = wire_last if idx[j] == total - 1 else wire_full
+                    t_next = (t + overhead) + wire
+                    if t_next >= horizon:
+                        break  # an observer fires at or before this hop
+                    t = t_next
+                    j += 1
+                if j > i:
+                    delays = []
+                    for k in range(i, j):
+                        delays.append(overhead)
+                        delays.append(
+                            wire_last if idx[k] == total - 1 else wire_full)
+                    yield env.timeout_batch(delays)
+                    # Flush traffic counters fragment by fragment: the
+                    # wire-time counter is a float accumulator, and only
+                    # per-fragment increments reproduce the reference
+                    # rounding bit for bit.
+                    inc_packets = self._packets.inc
+                    inc_payload = self._payload_bytes.inc
+                    inc_wire = self._wire_time.inc
+                    for k in range(i, j):
+                        last = idx[k] == total - 1
+                        inc_packets(1)
+                        inc_payload(last_chunk if last else payload)
+                        inc_wire(wire_last if last else wire_full)
+                    i = j
+                    continue
+            index = idx[i]
+            last = index == total - 1
+            chunk = last_chunk if last else payload
             # Host-side packet preparation: does not occupy the medium.
-            yield self.env.timeout(self.profile.per_packet_overhead)
+            yield env.timeout(overhead)
             grant = self._medium.request()
             yield grant
-            wire = self.profile.wire_time(chunk)
-            yield self.env.timeout(wire)
+            wire = wire_last if last else wire_full
+            yield env.timeout(wire)
             self._medium.release(grant)
             if self._fault_extra_latency > 0:
                 # Injected latency spike: charged outside the medium so
                 # other hosts still interleave.
-                yield self.env.timeout(self._fault_extra_latency)
-            self.stats.packets += 1
-            self.stats.payload_bytes += chunk
-            self.stats.wire_time += wire
+                yield env.timeout(self._fault_extra_latency)
+            self._packets.inc(1)
+            self._payload_bytes.inc(chunk)
+            self._wire_time.inc(wire)
             if self._fragment_lost():
                 self.stats.lost_packets += 1
                 lost.append(index)
+            i += 1
         return lost
 
     def _fragment_lost(self) -> bool:
@@ -208,11 +269,48 @@ class Ethernet:
             return
         wire = p.wire_time(p.background_packet_bytes)
         rate = p.background_utilization / wire  # packets per second
+        env = self.env
+        stream = self._stream
+        medium = self._medium
+        inc_bg = self._background_packets.inc
+        inc_wire = self._wire_time.inc
+        # Inter-arrival pre-drawn by a previous batch round, else None.
+        delay = None
         while True:
-            yield self.env.timeout(self._stream.expovariate(rate))
-            grant = self._medium.request()
+            if delay is None:
+                delay = stream.expovariate(rate)
+            # Collapse whole idle-gap packet trains into one timeout.
+            # Drawing the next inter-arrival "early" (at decision time
+            # instead of after the previous wire) is exact because the
+            # guard proves nothing else touches the stream inside the
+            # window; the draw *sequence* is what determinism pins.
+            if env.fast and env._solo and medium.idle:
+                horizon = env.peek()
+                t = env.now
+                batch: list = []
+                # The length cap bounds one collapse round when nothing
+                # else is scheduled at all (horizon +inf: this daemon is
+                # the whole simulation) — each round then advances the
+                # clock and loops, exactly like the reference would.
+                while len(batch) < 8192:
+                    t_next = (t + delay) + wire
+                    if t_next >= horizon:
+                        break  # this packet would overlap an observer
+                    batch.append(delay)
+                    batch.append(wire)
+                    t = t_next
+                    delay = stream.expovariate(rate)
+                if batch:
+                    for _ in range(len(batch) // 2):
+                        inc_bg(1)
+                        inc_wire(wire)
+                    yield env.timeout_batch(batch)
+                    continue  # `delay` holds the next packet's gap
+            yield env.timeout(delay)
+            delay = None
+            grant = medium.request()
             yield grant
-            yield self.env.timeout(wire)
-            self._medium.release(grant)
-            self.stats.background_packets += 1
-            self.stats.wire_time += wire
+            yield env.timeout(wire)
+            medium.release(grant)
+            inc_bg(1)
+            inc_wire(wire)

@@ -44,7 +44,7 @@ __all__ = ["RpcRequest", "RpcReply", "RpcTransport", "ServiceEndpoint"]
 HEADER_WIRE_SIZE = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcRequest:
     """A request as seen by a server."""
 
@@ -66,7 +66,7 @@ class RpcRequest:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcReply:
     """A reply as seen by a client."""
 
@@ -125,8 +125,8 @@ class ServiceEndpoint:
             while len(self.reply_cache) > self.REPLY_CACHE_SIZE:
                 self.reply_cache.popitem(last=False)
             self.replying.add(request.txid)
-        lost = yield self.transport.env.process(
-            self.transport.ethernet.send_fragments(reply.wire_size)
+        lost = yield from self.transport.ethernet.send_fragments(
+            reply.wire_size
         )
         if request.txid is not None:
             self.replying.discard(request.txid)
@@ -262,7 +262,12 @@ class RpcTransport:
             )
         attempts = 0
         try:
-            yield self.env.timeout(len(request.body) * self.cpu.memcpy_per_byte)
+            # Marshalling copy. An empty body costs a zero-length
+            # timeout in the reference; skipping it is exact only when
+            # no other event shares this tick (see sim.core).
+            delay = len(request.body) * self.cpu.memcpy_per_byte
+            if delay or not self.env.can_collapse(self.env.now):
+                yield self.env.timeout(delay)
             request.reply_event = Event(self.env)
             if request.txid is None:
                 request.txid = self.new_txid()
@@ -271,8 +276,8 @@ class RpcTransport:
             request_delivered = False
             while True:
                 if not request_delivered:
-                    lost = yield self.env.process(
-                        self.ethernet.send_fragments(request.wire_size, missing)
+                    lost = yield from self.ethernet.send_fragments(
+                        request.wire_size, missing
                     )
                     if lost:
                         missing = lost  # selective retransmission next round
@@ -284,8 +289,8 @@ class RpcTransport:
                     # The request is complete server-side; we are chasing a
                     # lost reply. A header-only probe makes the endpoint
                     # resend its cached reply.
-                    probe_lost = yield self.env.process(
-                        self.ethernet.send_fragments(HEADER_WIRE_SIZE)
+                    probe_lost = yield from self.ethernet.send_fragments(
+                        HEADER_WIRE_SIZE
                     )
                     if not probe_lost:
                         self._deliver(endpoint, request)
@@ -316,13 +321,16 @@ class RpcTransport:
                     )
                 self.stats_retransmits += 1
             # Client-side copy of the reply body out of the network buffers.
-            yield self.env.timeout(len(reply.body) * self.cpu.memcpy_per_byte)
+            delay = len(reply.body) * self.cpu.memcpy_per_byte
+            if delay or not self.env.can_collapse(self.env.now):
+                yield self.env.timeout(delay)
         finally:
             if self._tracer is not None:
                 self._tracer.end_span(trans_span, "span", "rpc.trans",
                                       attempts=attempts)
-        self._trace("rpc", "trans complete", port=port, opcode=request.opcode,
-                    status=reply.status)
+        if self._tracer is not None:
+            self._trace("rpc", "trans complete", port=port,
+                        opcode=request.opcode, status=reply.status)
         return reply
 
     def _deliver(self, endpoint: ServiceEndpoint, request: RpcRequest) -> None:

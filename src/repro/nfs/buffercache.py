@@ -64,6 +64,10 @@ class BufferCache:
         self.capacity_blocks = max(capacity_bytes // fs_block_size, 1)
         self.sectors_per_block = fs_block_size // disk.block_size
         self.stats = BufferCacheStats(metrics, cache=owner)
+        self._s_hits = self.stats.handle("hits")
+        self._s_misses = self.stats.handle("misses")
+        self._s_write_throughs = self.stats.handle("write_throughs")
+        self._s_delayed_writes = self.stats.handle("delayed_writes")
         self._blocks: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
 
@@ -74,10 +78,10 @@ class BufferCache:
         cached = self._blocks.get(fbn)
         if cached is not None:
             self._blocks.move_to_end(fbn)
-            self.stats.hits += 1
+            self._s_hits.inc(1)
             yield from ()
             return cached
-        self.stats.misses += 1
+        self._s_misses.inc(1)
         data = yield self.disk.read(fbn * self.sectors_per_block,
                                     self.sectors_per_block)
         self._admit(fbn, data, dirty=False)
@@ -96,10 +100,10 @@ class BufferCache:
             data = data + bytes(self.fs_block_size - len(data))
         self._admit(fbn, bytes(data), dirty=not sync)
         if sync:
-            self.stats.write_throughs += 1
+            self._s_write_throughs.inc(1)
             yield self.disk.write(fbn * self.sectors_per_block, data)
         else:
-            self.stats.delayed_writes += 1
+            self._s_delayed_writes.inc(1)
             yield from ()
 
     def sync(self):

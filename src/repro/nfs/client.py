@@ -77,9 +77,8 @@ class NfsClient:
     # --------------------------------------------------------- transport
 
     def _remote(self, opcode: int, args: tuple = (), body: bytes = b""):
-        reply = yield self.env.process(
-            self.rpc.trans(self.server_port,
-                           RpcRequest(opcode=opcode, args=args, body=body))
+        reply = yield from self.rpc.trans(
+            self.server_port, RpcRequest(opcode=opcode, args=args, body=body)
         )
         if not reply.ok:
             raise error_for_status(reply.status, reply.message)

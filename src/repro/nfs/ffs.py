@@ -80,7 +80,7 @@ class Superblock:
         return cls(*values[1:])
 
 
-@dataclass
+@dataclass(slots=True)
 class FFSInode:
     mode: int = MODE_FREE
     size: int = 0

@@ -83,6 +83,11 @@ class NfsServer:
         self.transport = transport
         self._tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Per-op instrument handles, resolved once per (server, op) so
+        # the serve loop stops paying a registry lookup per request.
+        self._op_counters: dict = {}
+        self._op_seconds: dict = {}
+        self._error_counters: dict = {}
         nfs = testbed.nfs
         self.cache = BufferCache(env, disk, nfs.buffer_cache_bytes,
                                  nfs.fs_block_size,
@@ -231,26 +236,36 @@ class NfsServer:
         while self._booted and endpoint is self._endpoint:
             req = yield endpoint.getreq()
             opname = _NFS_OPNAMES.get(req.opcode, str(req.opcode))
-            self.metrics.counter(
-                "repro_nfs_requests_total", server=self.name, op=opname
-            ).inc()
+            ctr = self._op_counters.get(opname)
+            if ctr is None:
+                ctr = self._op_counters[opname] = self.metrics.counter(
+                    "repro_nfs_requests_total", server=self.name, op=opname
+                )
+            ctr.inc()
             started = self.env.now
             try:
                 reply = yield from self._dispatch(req)
             except ReproError as exc:
                 reply = self._error_reply(exc)
-            self.metrics.histogram(
-                "repro_server_op_seconds", server=self.name, op=opname
-            ).observe(self.env.now - started)
-            yield self.env.process(endpoint.putrep(req, reply))
+            hist = self._op_seconds.get(opname)
+            if hist is None:
+                hist = self._op_seconds[opname] = self.metrics.histogram(
+                    "repro_server_op_seconds", server=self.name, op=opname
+                )
+            hist.observe(self.env.now - started)
+            yield from endpoint.putrep(req, reply)
 
     def _error_reply(self, exc: ReproError) -> RpcReply:
         """The error-accounting chokepoint (before PR 4 the NFS serve
         loop marshalled errors without counting them at all)."""
-        self.metrics.counter(
-            "repro_server_error_replies_total",
-            server=self.name, status=exc.status.name,
-        ).inc()
+        status = exc.status.name
+        ctr = self._error_counters.get(status)
+        if ctr is None:
+            ctr = self._error_counters[status] = self.metrics.counter(
+                "repro_server_error_replies_total",
+                server=self.name, status=status,
+            )
+        ctr.inc()
         if self._tracer is not None:
             self._tracer.emit("nfs", "error reply", status=exc.status.name)
         return RpcTransport.reply_for_error(exc)

@@ -71,6 +71,19 @@ def main(argv=None) -> int:
                      help="bench artifact path")
     pr5.add_argument("--top", default=None,
                      help="optional second copy (e.g. BENCH_PR5.json)")
+    speedup = sub.add_parser(
+        "speedup", help="measure wall-clock speedup of the kernel fast "
+                        "paths against a pristine baseline checkout")
+    speedup.add_argument("--baseline-src", required=True,
+                         help="src/ directory of the pre-fast-path tree "
+                              "(e.g. a git worktree of the seed commit)")
+    speedup.add_argument("--seed", type=int, default=1989)
+    speedup.add_argument("--rounds", type=int, default=3,
+                         help="interleaved baseline/current rounds")
+    speedup.add_argument("--inner", type=int, default=2,
+                         help="timed repeats inside each child process")
+    speedup.add_argument("--results", default="BENCH_PR6.json",
+                         help="speedup artifact path")
     args = parser.parse_args(argv)
 
     if args.command == "bench":
@@ -89,6 +102,16 @@ def main(argv=None) -> int:
                         seed=args.seed, duration=args.duration)
         print(f"wrote {args.results}"
               + (f" and {args.top}" if args.top else ""))
+        return 0
+
+    if args.command == "speedup":
+        from .speedup import write_speedup
+        payload = write_speedup(args.results, args.baseline_src,
+                                seed=args.seed, rounds=args.rounds,
+                                inner=args.inner)
+        ratio = payload["speedup"]["combined"]
+        print(f"wrote {args.results}: combined speedup {ratio:.2f}x "
+              f"(events ratio {payload['events_ratio']:.2f}x)")
         return 0
 
     print(_snapshot(args.seed, args.format), end="")

@@ -48,27 +48,34 @@ DEFAULT_BUCKETS = (
 
 
 class Metric:
-    """Base: a named instrument with a canonical (sorted) label set."""
+    """Base: a named instrument with a canonical (sorted) label set.
+
+    ``name``/``labels`` never change after construction, so the
+    canonical sample key is rendered exactly once here — hot paths and
+    exporters read a plain attribute instead of re-joining label tuples
+    per call.
+    """
 
     kind = "untyped"
+
+    __slots__ = ("name", "labels", "key")
 
     def __init__(self, name: str, labels: tuple):
         self.name = name
         self.labels = labels  # tuple of (key, value) pairs, sorted by key
-
-    @property
-    def key(self) -> str:
-        """Canonical sample key: ``name{k="v",...}`` (Prometheus shape)."""
-        if not self.labels:
-            return self.name
-        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
-        return f"{self.name}{{{inner}}}"
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in labels)
+            self.key = f"{name}{{{inner}}}"  # Prometheus sample shape
+        else:
+            self.key = name
 
 
 class Counter(Metric):
     """A monotonically increasing count (int or float)."""
 
     kind = "counter"
+
+    __slots__ = ("value",)
 
     def __init__(self, name: str, labels: tuple):
         super().__init__(name, labels)
@@ -87,6 +94,8 @@ class Gauge(Metric):
     """A value that can go up and down (fragmentation, free bytes...)."""
 
     kind = "gauge"
+
+    __slots__ = ("value",)
 
     def __init__(self, name: str, labels: tuple):
         super().__init__(name, labels)
@@ -111,6 +120,8 @@ class Histogram(Metric):
     """
 
     kind = "histogram"
+
+    __slots__ = ("buckets", "bin_counts", "total", "count")
 
     def __init__(self, name: str, labels: tuple, buckets: tuple):
         super().__init__(name, labels)
@@ -289,6 +300,17 @@ class RegistryStats:
             counter.inc(value - counter.value)
         else:
             object.__setattr__(self, name, value)
+
+    def handle(self, field: str) -> Counter:
+        """The backing :class:`Counter` for ``field``.
+
+        Hot paths cache this once and call ``inc`` directly, skipping
+        the facade's ``__getattr__``/``__setattr__`` round trip (and the
+        registry's label canonicalization) on every increment. The
+        facade and the handle mutate the same counter, so the two styles
+        agree by construction (tests/test_obs_registry.py pins this).
+        """
+        return self.__dict__["_counters"][field]
 
     def snapshot(self) -> dict:
         """Field -> current value, in declaration order."""

@@ -23,11 +23,52 @@ dependencies:
 Determinism: ties in the heap are broken by insertion order, so a given
 program always replays identically. No wall-clock time or global RNG is
 consulted anywhere in the kernel.
+
+Fast paths
+----------
+
+The kernel carries a set of *observational-equivalence* fast paths
+(DESIGN.md §10), all gated on ``Environment.fast`` (default from the
+``REPRO_FAST_PATHS`` environment variable; set it to ``0`` to force the
+exact reference semantics everywhere):
+
+* :meth:`Environment.try_finish_now` — completes a freshly created event
+  synchronously instead of routing it through the heap, legal only when
+  the event has no observers (no callbacks) *and* nothing else can run
+  at the current instant, so no other process can interleave.
+* synchronous :class:`Process` completion — when a process terminates
+  and nothing else can run at the current instant, its completion
+  callbacks run inline instead of via a scheduled event.
+* :meth:`Environment.timeout_batch` / :meth:`Environment.sleep` — one
+  heap push for a run of consecutive delays, and a no-op for zero-delay
+  sleeps that nothing can observe.
+
+"Nothing else can run at the current instant" is two conditions,
+centralized in :meth:`Environment.can_collapse`: the next heap entry
+must be *strictly* later (an entry at the same tick always sorts before
+a new push — older eid or interrupt priority — so it would interleave),
+and no further callbacks of the event being processed right now may be
+pending (the ``_solo`` flag, maintained by the dispatch loops; a second
+callback of the same event runs at the same instant without touching
+the heap, so the heap check alone cannot see it).
+
+One documented obligation on callers: an event completed through
+:meth:`~Environment.try_finish_now` must be yielded before the caller
+performs any priority-0 scheduling (i.e. :meth:`Process.interrupt`),
+because the reference execution would deliver such an interrupt before
+the caller's resumption. Every resource/lock/store path in this tree
+yields immediately, so the obligation is structural.
+
+Every fast path is exact: it fires only when the reference execution
+would have performed the identical state transitions in the identical
+order, which is what the hypothesis reference-equivalence suite
+(tests/test_kernel_equivalence.py) checks.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import ConsistencyError
@@ -42,7 +83,26 @@ __all__ = [
     "AnyOf",
     "CountOf",
     "run_process",
+    "FAST_PATHS_DEFAULT",
+    "set_env_created_hook",
 ]
+
+#: Process-wide default for :attr:`Environment.fast`. CI's forced-exact
+#: jobs export ``REPRO_FAST_PATHS=0`` to pin every environment to the
+#: reference semantics without touching call sites.
+FAST_PATHS_DEFAULT = os.environ.get("REPRO_FAST_PATHS", "1") != "0"
+
+# Called with each new Environment (when set). The speedup bench uses it
+# to find every environment a suite created so it can total scheduled
+# event counts; deliberately a cold-path hook (fires once per env).
+_env_created_hook: Optional[Callable[["Environment"], None]] = None
+
+
+def set_env_created_hook(
+        hook: Optional[Callable[["Environment"], None]]) -> None:
+    """Install (or clear, with None) the new-environment observer."""
+    global _env_created_hook
+    _env_created_hook = hook
 
 
 class Interrupt(Exception):
@@ -68,6 +128,8 @@ class Event:
     *processed* (callbacks ran). ``succeed``/``fail`` trigger the event;
     the environment processes it at the scheduled time.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -102,7 +164,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         self._ok = True
         self._value = value
@@ -111,7 +173,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -124,24 +186,33 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + succeed: a Timeout is born triggered,
+        # so one attribute block and one heap push is the whole cost.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay)
 
 
 class _Initialize(Event):
     """Internal: kicks a newly created process on the next step."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
+        self._ok = True
+        self._defused = False
         env._schedule(self)
 
 
@@ -154,6 +225,8 @@ class Process(Event):
     ``try/except`` failures of sub-operations).
     """
 
+    __slots__ = ("_gen", "_waiting_on")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
             raise TypeError(f"process requires a generator, got {generator!r}")
@@ -165,7 +238,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not terminated."""
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -192,22 +265,42 @@ class Process(Event):
         # process that would have handled it was interrupted (a crashed
         # server's in-flight disk write failing later must not surface
         # as an unhandled error from nowhere).
-        if self.triggered:
+        if self._value is not _PENDING:
             if not event._ok:
                 event._defused = True
             return
-        self.env._active = self
+        env = self.env
+        env._active = self
+        gen = self._gen
+        send = gen.send
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self._gen.send(event._value)
+                        target = send(event._value)
                     else:
                         event._defused = True
-                        target = self._gen.throw(event._value)
+                        target = gen.throw(event._value)
                 except StopIteration as stop:
                     self._waiting_on = None
-                    self.succeed(stop.value)
+                    heap = env._heap
+                    if (env.fast and env._solo
+                            and (not heap or heap[0][0] > env._now)):
+                        # Synchronous completion: nothing else can run
+                        # at this instant, so the completion event would
+                        # be the very next thing the heap pops — running
+                        # its callbacks inline is observationally
+                        # identical and saves the push.
+                        self._ok = True
+                        self._value = stop.value
+                        callbacks = self.callbacks
+                        self.callbacks = None
+                        env._solo = len(callbacks) == 1
+                        for callback in callbacks:
+                            callback(self)
+                        env._solo = True
+                    else:
+                        self.succeed(stop.value)
                     return
                 except BaseException as exc:
                     # The process body raised: the process event fails.
@@ -222,10 +315,10 @@ class Process(Event):
                     )
                     # Crash the process with a clear error.
                     self._waiting_on = None
-                    self._gen.close()
+                    gen.close()
                     self.fail(exc)
                     return
-                if target.processed:
+                if target.callbacks is None:
                     # Already fired: loop and feed its value immediately.
                     event = target
                     continue
@@ -233,7 +326,7 @@ class Process(Event):
                 target.callbacks.append(self._resume)
                 return
         finally:
-            self.env._active = None
+            env._active = None
 
 
 class _ConditionBase(Event):
@@ -242,6 +335,8 @@ class _ConditionBase(Event):
     If enough events fail that success becomes impossible, the condition
     fails with the first failure's exception.
     """
+
+    __slots__ = ("events", "_need", "_done", "_failed", "_first_failure")
 
     def __init__(self, env: "Environment", events: Iterable[Event], need: int):
         super().__init__(env)
@@ -261,37 +356,37 @@ class _ConditionBase(Event):
         # failures (e.g. a background replica write after a P-FACTOR 0
         # reply) must still be consumed rather than crash the run.
         for ev in self.events:
-            if ev.processed:
+            if ev.callbacks is None:
                 self._check(ev)
             else:
                 ev.callbacks.append(self._check)
-        if not self.triggered and len(self._done) >= self._need:
+        if self._value is _PENDING and len(self._done) >= self._need:
             self.succeed(self._collect())
 
     def _collect(self) -> list:
         """Values of the events that have *fired* successfully, in event
         order. Note Timeout carries its value from construction, so we
         track firing explicitly rather than trusting ``triggered``."""
-        return [ev.value for ev in self.events if id(ev) in self._done]
+        return [ev._value for ev in self.events if id(ev) in self._done]
 
     def _check(self, event: Event) -> None:
-        if not event.ok:
+        if not event._ok:
             # Consume the failure even if we already triggered; a late
             # replica failure after quorum must not crash the run.
             event._defused = True
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if event.ok:
+        if event._ok:
             self._done.add(id(event))
         else:
             self._failed += 1
             if self._first_failure is None:
-                if not isinstance(event.value, BaseException):
+                if not isinstance(event._value, BaseException):
                     raise ConsistencyError(
                         f"failed event carries a non-exception value: "
-                        f"{event.value!r}"
+                        f"{event._value!r}"
                     )
-                self._first_failure = event.value
+                self._first_failure = event._value
         if len(self._done) >= self._need:
             self.succeed(self._collect())
         elif len(self.events) - self._failed < self._need:
@@ -305,6 +400,8 @@ class _ConditionBase(Event):
 class AllOf(_ConditionBase):
     """Fires when every event has succeeded; value is the list of values."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         events = list(events)
         super().__init__(env, events, need=len(events))
@@ -312,6 +409,8 @@ class AllOf(_ConditionBase):
 
 class AnyOf(_ConditionBase):
     """Fires when at least one event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, need=1)
@@ -325,15 +424,39 @@ class CountOf(_ConditionBase):
     have completed.
     """
 
+    __slots__ = ()
+
 
 class Environment:
-    """The simulation scheduler and clock."""
+    """The simulation scheduler and clock.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``fast`` enables the observational-equivalence fast paths (see the
+    module docstring); it defaults to :data:`FAST_PATHS_DEFAULT` so one
+    environment variable flips the whole process to reference semantics.
+    """
+
+    __slots__ = ("_now", "_heap", "_eid", "_active", "_solo", "_deadline",
+                 "fast")
+
+    def __init__(self, initial_time: float = 0.0, fast: Optional[bool] = None):
         self._now = float(initial_time)
         self._heap: list = []
         self._eid = 0
         self._active: Optional[Process] = None
+        # True while no further callbacks of the event currently being
+        # dispatched remain (see module docstring). True outside any
+        # dispatch, where no same-instant callback can be pending.
+        self._solo = True
+        # The active run(until=<number>)'s deadline, +inf outside one.
+        # peek() caps the collapse horizon here: a batched segment must
+        # never span the instant the run loop will stop at, both so the
+        # caller observes counters consistent with now==deadline and so
+        # a self-scheduling daemon over an otherwise empty heap scans a
+        # finite window instead of looping forever.
+        self._deadline = float("inf")
+        self.fast = FAST_PATHS_DEFAULT if fast is None else bool(fast)
+        if _env_created_hook is not None:
+            _env_created_hook(self)
 
     @property
     def now(self) -> float:
@@ -345,6 +468,12 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed on the heap (the speedup bench's
+        events/sec numerator; monotone, never reset)."""
+        return self._eid
+
     # -- event construction helpers -------------------------------------
 
     def event(self) -> Event:
@@ -354,6 +483,52 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout_batch(self, delays: Iterable[float], value: Any = None) -> Timeout:
+        """One event standing in for K sequential delays — a single heap
+        push where the reference path pays K push/pop/resume cycles.
+
+        The firing instant is the *left fold* ``((now + d1) + d2) + ...``,
+        not ``now + sum(delays)``: the reference chain advances the clock
+        one addition per hop and float addition is not associative, so
+        accumulating any other way could land one ulp off the reference
+        timestamp and break byte-identity of timing artifacts.
+
+        Legality is the *caller's* obligation: collapsing the chain is
+        observationally equivalent only when no other process can run at
+        any of the intermediate instants (callers guard with
+        :meth:`can_collapse`, see ``net/ethernet.py`` and
+        ``disk/vdisk.py``).
+        """
+        when = self._now
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            when = when + delay
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event.delay = when - self._now
+        self._eid += 1
+        heappush(self._heap, (when, 1, self._eid, event))
+        return event
+
+    def sleep(self, delay: float):
+        """Generator form of a plain delay: ``yield from env.sleep(d)``.
+
+        Equivalent to ``yield env.timeout(d)``, except that a zero-delay
+        sleep is skipped entirely when nothing else is scheduled at the
+        current instant — the reference execution would pop the zero
+        timeout immediately with no intervening event, so skipping the
+        heap round-trip is exact.
+        """
+        if delay == 0.0 and self.fast and self._solo and (
+                not self._heap or self._heap[0][0] > self._now):
+            return None
+        return (yield Timeout(self, delay))
 
     def process(self, generator: Generator) -> Process:
         """Start ``generator`` as a process; returns its completion event."""
@@ -372,21 +547,65 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._eid += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._eid, event))
+        heappush(self._heap, (self._now + delay, priority, self._eid, event))
+
+    def can_collapse(self, end: float) -> bool:
+        """True when no observer can run in the half-open interval
+        [now, end] other than the caller itself.
+
+        This is the legality test for every analytic fast path: the next
+        heap entry must be *strictly* after ``end`` (a same-tick entry
+        would pop before anything the caller schedules now), and no
+        further callbacks of the event currently being dispatched may
+        remain (they would run at this instant without appearing on the
+        heap). Pass ``end == now`` for point-in-time collapses
+        (immediate grants); pass a later ``end`` for closed-form busy
+        segments (network transfers, disk operations).
+        """
+        return (self.fast and self._solo
+                and (not self._heap or self._heap[0][0] > end))
+
+    def try_finish_now(self, event: Event, value: Any = None) -> bool:
+        """Fast path: complete a *fresh* event synchronously.
+
+        Returns True when the event was marked processed in place —
+        legal only when nobody registered a callback yet (so no
+        suspended process gets resumed out of turn) and
+        :meth:`can_collapse` holds for the current instant (so the
+        reference execution would pop this event next with no
+        intervening work). Callers fall back to ``event.succeed(value)``
+        on False. Immediate resource grants, store gets, and uncontended
+        lock grants use this to skip the heap round-trip.
+        """
+        if (self.fast and self._solo and not event.callbacks
+                and (not self._heap or self._heap[0][0] > self._now)):
+            event._ok = True
+            event._value = value
+            event.callbacks = None
+            return True
+        return False
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """The earliest instant anything can next observe the world: the
+        next scheduled event, capped at the running ``until`` deadline
+        (+inf when neither bounds it)."""
+        if self._heap:
+            when = self._heap[0][0]
+            return when if when < self._deadline else self._deadline
+        return self._deadline
 
     def step(self) -> None:
         """Process exactly one event."""
         if not self._heap:
             raise RuntimeError("no scheduled events")
-        when, _priority, _eid, event = heapq.heappop(self._heap)
+        when, _priority, _eid, event = heappop(self._heap)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
+        self._solo = len(callbacks) == 1
         for callback in callbacks:
             callback(event)
+        self._solo = True
         if not event._ok and not event._defused:
             # A failure nobody consumed: surface it rather than letting
             # errors pass silently.
@@ -399,27 +618,81 @@ class Environment:
         * ``until`` is a number: run until the clock reaches it.
         * ``until`` is an :class:`Event`: run until it fires, then return
           its value (re-raising its exception on failure).
+
+        The three loops below inline :meth:`step` (minus its empty-heap
+        guard) — the per-event tuple unpack and callback dispatch is the
+        single hottest path in the whole system, so it pays to keep it
+        free of method-call and property overhead.
         """
+        heap = self._heap
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _priority, _eid, event = heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    # _solo already True: the lone callback may collapse.
+                    callbacks[0](event)
+                else:
+                    self._solo = False
+                    for callback in callbacks:
+                        callback(event)
+                    self._solo = True
+                if not event._ok and not event._defused:
+                    self._solo = True
+                    raise event._value
+            self._solo = True
             return None
         if isinstance(until, Event):
-            while not until.processed:
-                if not self._heap:
+            while until.callbacks is not None:
+                if not heap:
                     raise RuntimeError(
                         "deadlock: event will never fire (no scheduled events)"
                     )
-                self.step()
-            if until.ok:
-                return until.value
+                when, _priority, _eid, event = heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    # _solo already True: the lone callback may collapse.
+                    callbacks[0](event)
+                else:
+                    self._solo = False
+                    for callback in callbacks:
+                        callback(event)
+                    self._solo = True
+                if not event._ok and not event._defused:
+                    self._solo = True
+                    raise event._value
+            self._solo = True
+            if until._ok:
+                return until._value
             until._defused = True
-            raise until.value
+            raise until._value
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        self._deadline = deadline
+        try:
+            while heap and heap[0][0] <= deadline:
+                when, _priority, _eid, event = heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    self._solo = False
+                    for callback in callbacks:
+                        callback(event)
+                    self._solo = True
+                if not event._ok and not event._defused:
+                    self._solo = True
+                    raise event._value
+        finally:
+            self._deadline = float("inf")
+        self._solo = True
         self._now = deadline
         return None
 

@@ -1,0 +1,74 @@
+"""``python -m repro.sim.profile`` — profile a named bench suite.
+
+The kernel fast paths were driven by profiles of the real suites, not
+micro-guesses; this entry point makes that workflow repeatable::
+
+    python -m repro.sim.profile fig2_fig3              # Figure 2/3 runs
+    python -m repro.sim.profile worker_scaling          # PR5 suite
+    python -m repro.sim.profile all --top 40            # both, top 40
+
+Each bench runs once under :mod:`cProfile` and the top-N entries by
+cumulative time are printed. Profile output is wall-clock and therefore
+machine-dependent by nature — it is a development lens, never an
+artifact input (the deterministic artifacts come from
+``python -m repro.obs bench``/``bench-pr5``; the speedup artifact from
+``python -m repro.obs speedup``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+__all__ = ["main", "BENCHES"]
+
+
+def _fig2_fig3(seed: int) -> None:
+    from ..obs.bench import run_bench
+    run_bench(seed=seed)
+
+
+def _worker_scaling(seed: int) -> None:
+    from ..obs.bench import run_bench_pr5
+    run_bench_pr5(seed=seed)
+
+
+#: Named suites: name -> callable(seed). ``all`` is synthesized below.
+BENCHES = {
+    "fig2_fig3": _fig2_fig3,
+    "worker_scaling": _worker_scaling,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.profile",
+        description="Run a named bench suite under cProfile and print "
+                    "the hottest functions.",
+    )
+    parser.add_argument("bench", nargs="?", default="all",
+                        choices=sorted(BENCHES) + ["all"],
+                        help="suite to profile (default: all)")
+    parser.add_argument("--seed", type=int, default=1989)
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows of profile output (default: 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default: cumulative)")
+    args = parser.parse_args(argv)
+
+    names = sorted(BENCHES) if args.bench == "all" else [args.bench]
+    for name in names:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        BENCHES[name](args.seed)
+        profiler.disable()
+        print(f"== {name} (seed={args.seed}, sort={args.sort}) ==")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ __all__ = ["Resource", "PriorityResource", "Store", "Request"]
 class Request(Event):
     """A pending claim on a :class:`Resource`; fires when granted."""
 
+    __slots__ = ("resource", "priority")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
@@ -31,6 +33,8 @@ class Request(Event):
 
 class Resource:
     """A resource with ``capacity`` concurrent users and a FIFO queue."""
+
+    __slots__ = ("env", "capacity", "_users", "_queue")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -50,12 +54,20 @@ class Resource:
         """Number of waiting requests."""
         return len(self._queue)
 
+    @property
+    def idle(self) -> bool:
+        """True when nobody holds or waits for the resource."""
+        return not self._users and not self._queue
+
     def request(self) -> Request:
         """Claim the resource; yield the returned event to wait for it."""
         req = Request(self)
         if len(self._users) < self.capacity:
             self._users.add(req)
-            req.succeed(req)
+            # Immediate grant: complete in place when nothing else can
+            # run at this instant (exact; see sim.core docstring).
+            if not self.env.try_finish_now(req, req):
+                req.succeed(req)
         else:
             self._enqueue(req)
         return req
@@ -68,7 +80,11 @@ class Resource:
         nxt = self._dequeue()
         if nxt is not None:
             self._users.add(nxt)
-            nxt.succeed(nxt)
+            # try_finish_now declines whenever the waiter already
+            # registered a callback (the common suspended-process case),
+            # falling back to the scheduled hand-off.
+            if not self.env.try_finish_now(nxt, nxt):
+                nxt.succeed(nxt)
 
     def cancel(self, request: Request) -> None:
         """Withdraw a queued request that has not been granted yet."""
@@ -92,6 +108,8 @@ class PriorityResource(Resource):
     Ties are served FIFO (stable via an insertion counter).
     """
 
+    __slots__ = ("_pqueue", "_counter")
+
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
         self._pqueue: list = []
@@ -101,11 +119,16 @@ class PriorityResource(Resource):
     def queue_length(self) -> int:
         return len(self._pqueue)
 
+    @property
+    def idle(self) -> bool:
+        return not self._users and not self._pqueue
+
     def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
         req = Request(self, priority)
         if len(self._users) < self.capacity:
             self._users.add(req)
-            req.succeed(req)
+            if not self.env.try_finish_now(req, req):
+                req.succeed(req)
         else:
             self._enqueue(req)
         return req
@@ -136,6 +159,8 @@ class Store:
     oldest item (immediately if one is available).
     """
 
+    __slots__ = ("env", "_items", "_getters")
+
     def __init__(self, env: Environment):
         self.env = env
         self._items: deque[Any] = deque()
@@ -144,10 +169,17 @@ class Store:
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def waiting(self) -> int:
+        """Number of getters currently blocked on an empty store."""
+        return len(self._getters)
+
     def put(self, item: Any) -> None:
         """Deposit ``item``; wakes the oldest waiting getter, if any."""
         if self._getters:
-            self._getters.popleft().succeed(item)
+            getter = self._getters.popleft()
+            if not self.env.try_finish_now(getter, item):
+                getter.succeed(item)
         else:
             self._items.append(item)
 
@@ -155,7 +187,9 @@ class Store:
         """An event that fires with the next item."""
         event = Event(self.env)
         if self._items:
-            event.succeed(self._items.popleft())
+            item = self._items.popleft()
+            if not self.env.try_finish_now(event, item):
+                event.succeed(item)
         else:
             self._getters.append(event)
         return event

@@ -336,3 +336,19 @@ def test_requests_served_in_order():
         env.process(client(i, i * 1e-4))
     env.run()
     assert served == [0, 1, 2]
+
+
+def test_background_traffic_alone_respects_run_deadline():
+    # Regression: with background load as the *only* activity, the heap
+    # is empty when the daemon plans its next packet train. The batched
+    # fast path must treat the run(until=...) deadline as its collapse
+    # horizon — it used to scan an unbounded window and hang — and the
+    # counters at the deadline must match the reference kernel exactly.
+    def totals(fast):
+        env = Environment(fast=fast)
+        eth, _ = make_net(env, background=True)
+        env.run(until=0.25)
+        env.run(until=0.6)  # resuming past a stop must stay seamless
+        return (env.now, eth.stats.background_packets, eth.stats.wire_time)
+
+    assert totals(True) == totals(False)

@@ -1,0 +1,66 @@
+"""Cached counter handles vs. the facade attribute protocol.
+
+Hot paths (Ethernet fragments, cache probes, per-op server counters)
+resolve a :meth:`RegistryStats.handle` once and call ``inc`` directly;
+cold paths keep using ``stats.field += n``. Both must observe and
+mutate the *same* registry counter — bit-for-bit, including float
+accumulation order — or the fast-path migration would silently fork
+the accounting the bench artifacts are built from.
+"""
+
+from repro.obs import MetricsRegistry, RegistryStats
+from repro.obs.export import render_json, render_text
+
+
+class _DemoStats(RegistryStats):
+    _PREFIX = "repro_demo"
+    _COUNTER_FIELDS = ("ops", "seconds")
+
+
+def test_handle_is_the_facade_counter():
+    stats = _DemoStats(segment="a")
+    handle = stats.handle("ops")
+    assert handle is stats.handle("ops"), "handle must be stable"
+    handle.inc(3)
+    assert stats.ops == 3
+    stats.ops += 2
+    assert handle.value == 5
+    assert stats.registry.value("repro_demo_ops_total", segment="a") == 5
+
+
+def test_float_accumulation_matches_facade_bitwise():
+    # The wire-time counter accumulates floats; the handle path must
+    # perform the identical sequence of additions as the facade path.
+    deltas = [0.1, 0.2, 0.30000000000000004, 1e-9, 0.7, 123.456]
+    via_facade = _DemoStats()
+    via_handle = _DemoStats()
+    inc = via_handle.handle("seconds").inc
+    for d in deltas:
+        via_facade.seconds += d
+        inc(d)
+    # Plain == on floats: any reordering or pre-summation would differ
+    # in the low bits and fail here.
+    assert via_facade.seconds == via_handle.seconds
+    assert via_facade.snapshot() == via_handle.snapshot()
+
+
+def test_mixed_increment_styles_share_one_sample():
+    reg = MetricsRegistry()
+    stats = _DemoStats(reg, segment="b")
+    stats.handle("ops").inc(1)
+    stats.ops += 1
+    stats.handle("ops").inc(1)
+    assert reg.value("repro_demo_ops_total", segment="b") == 3
+    # Exporters read the same sample the handle mutated.
+    assert 'repro_demo_ops_total{segment="b"} 3' in render_text(reg)
+    assert '"repro_demo_ops_total{segment=\\"b\\"}": 3' in render_json(reg)
+
+
+def test_handle_rejects_unknown_field():
+    stats = _DemoStats()
+    try:
+        stats.handle("nope")
+    except KeyError:
+        pass
+    else:
+        raise AssertionError("handle() must reject undeclared fields")

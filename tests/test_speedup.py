@@ -1,0 +1,36 @@
+"""Unit tests for the speedup harness's derived-figure arithmetic.
+
+The subprocess measurement itself is exercised by the ``bench-speedup``
+CI job (it needs a second source tree); here we pin the pure summary
+math so the artifact's ratios mean what they claim.
+"""
+
+from repro.obs.speedup import SUITES, summarize
+
+
+def _tree(wall, events):
+    return {
+        "wall": dict(zip(SUITES, wall)),
+        "events_scheduled": dict(zip(SUITES, events)),
+    }
+
+
+def test_summarize_ratios():
+    baseline = _tree((2.0, 6.0), (100_000, 300_000))
+    current = _tree((1.0, 1.0), (50_000, 50_000))
+    out = summarize(baseline, current, target=5.0)
+    assert out["speedup"]["fig2_fig3"] == 2.0
+    assert out["speedup"]["worker_scaling"] == 6.0
+    assert out["speedup"]["combined"] == 4.0  # 8s -> 2s, not a mean
+    assert out["events_ratio"] == 4.0
+    assert out["target"] == 5.0 and out["target_met"] is False
+    # events/sec is annotated onto each tree in place.
+    assert baseline["events_per_second"]["fig2_fig3"] == 50_000.0
+    assert current["events_per_second"]["worker_scaling"] == 50_000.0
+
+
+def test_summarize_target_met():
+    out = summarize(_tree((5.0, 5.0), (10, 10)), _tree((1.0, 1.0), (5, 5)),
+                    target=5.0)
+    assert out["speedup"]["combined"] == 5.0
+    assert out["target_met"] is True
