@@ -3,13 +3,17 @@
 The reproduction's core guarantees are conventions the code cannot state:
 the sim kernel's replay determinism ("no wall-clock time or global RNG is
 consulted anywhere", :mod:`repro.sim.core`), the capability gate every
-RPC opcode handler must pass (paper §2.2), and the rule that every timed
+RPC opcode handler must pass (paper §2.2), the rule that every timed
 subroutine must be *driven* (``yield env.process(...)`` / ``yield from``)
-or it silently never runs. This package turns each convention into a
-machine-checked rule over the project's own AST, with cross-module
-knowledge (which functions are generator processes, which methods are
-opcode handlers, which tables feed which dispatchers) supplied by a
-project-index pre-pass.
+or it silently never runs, and the lock discipline the worker pool
+depends on (:mod:`repro.core.locks`). This package turns each
+convention into a machine-checked rule over the project's own AST, with
+cross-module knowledge (which functions are generator processes, which
+methods are opcode handlers, which tables feed which dispatchers, which
+grants reach which releases) supplied by a project-index pre-pass. A
+runtime companion — the Eraser-style lockset checker in
+:mod:`repro.analysis.runtime` — watches the interleavings the tests
+actually execute (armed via ``REPRO_LOCKSET=1``).
 
 Shipped rules — see ``python -m repro.analysis --list-rules``:
 
@@ -23,7 +27,16 @@ S001   unyielded-process       generator process / env.process(...) as a bare
 C001   missing-rights-check    opcode handler never reaches require(...)
 C002   dead-or-missing-opcode  *OPCODES tables vs. _dispatch wiring
 A001   assert-as-validation    assert / AssertionError in library code
+L001   lock-leak               a grant misses release() on some path out of
+                               its function
+L002   yield-under-lock        blocking yield while holding a grant
+L003   lock-order              AB-BA cycle in the acquired-while-holding graph
+L004   unlocked-shared-access  a ``guarded_by`` field written without its lock
+P001   stale-pragma            (``--strict-pragmas``) an allow() pragma that
+                               suppressed nothing
 =====  ======================  =================================================
+
+The L-family alone: ``python -m repro.analysis --concurrency``.
 
 Per-line suppression: append ``# repro: allow(<rule>[, <rule>...])`` to
 the offending line (or put it on a comment line directly above) together

@@ -5,6 +5,8 @@ Usage::
     python -m repro.analysis src/repro             # lint the tree
     python -m repro.analysis --format json src     # machine-readable
     python -m repro.analysis --select D001,S001 f.py
+    python -m repro.analysis --concurrency src/repro   # L-rules only
+    python -m repro.analysis --strict-pragmas src/repro
     python -m repro.analysis --list-rules
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
@@ -39,6 +41,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="report format (default: text)")
     parser.add_argument("--select", default="",
                         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="run the lock-discipline rule family (L...) "
+                             "in addition to any --select ids, and nothing "
+                             "else")
+    parser.add_argument("--strict-pragmas", action="store_true",
+                        help="also report stale `# repro: allow(...)` "
+                             "pragmas (P001)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -56,8 +65,15 @@ def main(argv: Optional[list] = None) -> int:
               file=sys.stderr)
         return 2
     select = tuple(part.strip() for part in args.select.split(",") if part.strip())
+    if args.concurrency:
+        from .framework import rule_ids
+        select = select + tuple(
+            rule_id for rule_id in rule_ids()
+            if rule_id.startswith("L") and rule_id not in select
+        )
     try:
-        result = analyze_paths(args.paths, Config(select=select))
+        result = analyze_paths(args.paths, Config(select=select),
+                               strict_pragmas=args.strict_pragmas)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

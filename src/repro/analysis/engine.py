@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..errors import BadRequestError
-from .framework import Config, FileContext, Suppressions, all_rules
+from .framework import Config, FileContext, Finding, Suppressions, all_rules
 from .index import ProjectIndex
 
 __all__ = ["AnalysisResult", "ParseError", "analyze_paths", "collect_files",
@@ -89,8 +89,15 @@ def module_name_for(path: str) -> str:
 
 
 def analyze_paths(paths: Iterable[str],
-                  config: Optional[Config] = None) -> AnalysisResult:
-    """Run every (selected) rule over the given files/directories."""
+                  config: Optional[Config] = None,
+                  strict_pragmas: bool = False) -> AnalysisResult:
+    """Run every (selected) rule over the given files/directories.
+
+    With ``strict_pragmas``, every ``# repro: allow(...)`` entry that
+    suppressed nothing during the run is itself reported as a P001
+    finding (judged only for the rule ids that actually ran, plus ids
+    that are not registered rules at all).
+    """
     config = config or Config()
     result = AnalysisResult()
     parsed = []
@@ -106,20 +113,28 @@ def analyze_paths(paths: Iterable[str],
                            message=f"syntax error: {exc.msg}")
             )
             continue
-        parsed.append((posix, module_name_for(posix), tree, source))
+        parsed.append((posix, module_name_for(posix), tree, source.splitlines()))
 
-    index = ProjectIndex.build(
-        (path, module, tree) for path, module, tree, _source in parsed
-    )
+    index = ProjectIndex.build(parsed)
     rules = all_rules(config.select)
     result.rules_run = [rule.id for rule in rules]
-    for path, module, tree, source in parsed:
-        lines = source.splitlines()
+    judged = [rule_id for rule_id in result.rules_run if rule_id != "P001"]
+    for path, module, tree, lines in parsed:
         ctx = FileContext(path=path, module=module, tree=tree, lines=lines,
                           index=index, config=config)
         suppressions = Suppressions(lines)
         for rule in rules:
             result.findings.extend(suppressions.filter(rule.check(ctx)))
+        if strict_pragmas:
+            stale = [
+                Finding(
+                    rule="P001", path=path, line=line, col=1,
+                    message=(f"stale pragma: allow({rule_id}) suppressed "
+                             "nothing in this run"),
+                )
+                for line, rule_id in suppressions.unused(judged)
+            ]
+            result.findings.extend(suppressions.filter(stale))
         result.files_checked += 1
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result

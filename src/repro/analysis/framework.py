@@ -27,11 +27,17 @@ from __future__ import annotations
 
 import ast
 import fnmatch
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Set, Tuple)
 
 from ..errors import BadRequestError
+
+if TYPE_CHECKING:  # import cycle at runtime only (engine imports both)
+    from .index import ProjectIndex
 
 __all__ = [
     "Config",
@@ -103,9 +109,33 @@ class Config:
     extra_validators: tuple = ("_resolve",)
     #: Restrict the run to these rule ids (empty means: all registered).
     select: tuple = ()
+    #: Functions L004 exempts from the guarded-write discipline, as
+    #: :mod:`fnmatch` patterns over ``module:qualname``. These run before
+    #: (or instead of) concurrent service: construction, volume format,
+    #: boot-time scan, and crash recovery all mutate server state while
+    #: no worker pool exists to race with.
+    unlocked_contexts: tuple = (
+        "*:__init__",
+        "*:*.__init__",
+        "*:boot",
+        "*:*.boot",
+        "*:format",
+        "*:*.format",
+        "*.recovery:*",
+    )
+    #: Terminal method names whose *yielded call* parks the process on
+    #: external input (``yield q.get()``, ``yield svr.getreq()``). L002
+    #: seeds its blocking-function fixpoint with these: suspending on one
+    #: while holding a write grant stalls every queued request on that
+    #: inode for an unbounded time.
+    blocking_primitives: tuple = ("get", "getreq", "recv")
 
     def path_matches(self, path: str, patterns: Iterable[str]) -> bool:
         return any(fnmatch.fnmatch(path, pat) for pat in patterns)
+
+    def context_exempt(self, module: str, qualname: str) -> bool:
+        tag = f"{module}:{qualname}"
+        return any(fnmatch.fnmatch(tag, pat) for pat in self.unlocked_contexts)
 
 
 _PRAGMA = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
@@ -119,11 +149,21 @@ class Suppressions:
     reported on that line. A comment-only pragma line suppresses the
     following line instead, for statements too long to annotate inline.
     Several rules may be listed: ``# repro: allow(S001, D002)``.
+
+    Pragmas are found by tokenizing the source, so only real ``#``
+    comments count — a pragma *mentioned* inside a docstring or string
+    literal is prose, not a suppression (and is never reported stale).
+    Each pragma entry records whether it suppressed anything;
+    :meth:`unused` reports the stale ones for ``--strict-pragmas``.
     """
 
     def __init__(self, source_lines: Iterable[str]):
-        self._by_line: dict[int, set] = {}
-        for number, text in enumerate(source_lines, start=1):
+        lines = list(source_lines)
+        self._by_line: Dict[int, Set[str]] = {}
+        #: (effective line, rule) -> line the pragma comment sits on.
+        self._declared: Dict[Tuple[int, str], int] = {}
+        self._used: Set[Tuple[int, str]] = set()
+        for comment_line, text in self._comments(lines):
             match = _PRAGMA.search(text)
             if match is None:
                 continue
@@ -134,16 +174,56 @@ class Suppressions:
             }
             if not rules:
                 continue
-            target = number
-            if _PRAGMA_ONLY_LINE.match(text):
-                target = number + 1
+            target = comment_line
+            if _PRAGMA_ONLY_LINE.match(lines[comment_line - 1]):
+                target = comment_line + 1
             self._by_line.setdefault(target, set()).update(rules)
+            for rule in rules:
+                self._declared.setdefault((target, rule), comment_line)
+
+    @staticmethod
+    def _comments(lines: List[str]) -> Iterator[Tuple[int, str]]:
+        """(lineno, text) of every real comment token in the source."""
+        source = "".join(
+            line if line.endswith("\n") else line + "\n" for line in lines
+        )
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unterminated constructs etc.: fall back to the lexical scan
+            # (over-matching beats dropping real suppressions).
+            for number, text in enumerate(lines, start=1):
+                if "#" in text:
+                    yield number, text
 
     def is_suppressed(self, finding: Finding) -> bool:
-        return finding.rule in self._by_line.get(finding.line, ())
+        if finding.rule in self._by_line.get(finding.line, ()):
+            self._used.add((finding.line, finding.rule))
+            return True
+        return False
 
     def filter(self, findings: Iterable[Finding]) -> list:
         return [f for f in findings if not self.is_suppressed(f)]
+
+    def unused(self, judged_rules: Iterable[str]) -> List[Tuple[int, str]]:
+        """(pragma line, rule id) for every stale pragma entry.
+
+        An entry is stale when it suppressed no finding during the run.
+        Only rules in ``judged_rules`` (the ids that actually ran) are
+        judged — except ids that are not registered rules at all, which
+        can never suppress anything and are always reported.
+        """
+        judged = set(judged_rules)
+        known = set(_REGISTRY)
+        stale = []
+        for (line, rule), comment_line in self._declared.items():
+            if (line, rule) in self._used:
+                continue
+            if rule in judged or rule not in known:
+                stale.append((comment_line, rule))
+        return sorted(stale)
 
 
 @dataclass
@@ -154,7 +234,7 @@ class FileContext:
     module: str               # dotted module name ("repro.core.server")
     tree: ast.Module
     lines: list
-    index: "object"           # ProjectIndex (untyped to avoid the import cycle)
+    index: "ProjectIndex"
     config: Config = field(default_factory=Config)
 
     def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
@@ -219,3 +299,27 @@ def all_rules(select: Optional[Iterable[str]] = None) -> list:
 
 def rule_ids() -> list:
     return sorted(_REGISTRY)
+
+
+@register
+class StalePragmaRule(Rule):
+    """P001 — stale suppression pragma (``--strict-pragmas``).
+
+    The engine emits these itself after running the real rules (a pragma
+    is stale only relative to a whole run), so :meth:`check` yields
+    nothing; the class exists to give the findings a catalogue entry,
+    a ``--select`` handle, and a suppression id of their own.
+    """
+
+    id = "P001"
+    title = "suppression pragma no longer suppresses anything"
+    rationale = (
+        "A stale `# repro: allow(...)` is a latent hole: the code it "
+        "excused has moved or been fixed, and the pragma now silently "
+        "licenses the next regression on that line. PR 6's "
+        "de-processification left several behind; --strict-pragmas keeps "
+        "the set honest."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())

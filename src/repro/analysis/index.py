@@ -13,16 +13,56 @@ analyzed file that records exactly those facts:
 * project-relative ``from ... import`` bindings, so a bare call can be
   resolved across modules;
 * every ``*OPCODES`` table literal and every ``TABLE["KEY"]`` reference;
-* per-class ``self.attr`` annotations (used by D003's set-type inference).
+* per-class ``self.attr`` annotations (used by D003's set-type inference
+  and by the typed-attribute call resolution below).
+
+The concurrency rule family (L001–L004, :mod:`.rules.concurrency`) adds
+lock-centric facts:
+
+* every ``<table>.acquire_read(...)`` / ``<table>.acquire_write(...)``
+  call site with the grant variable it is bound to (:class:`LockSite`),
+  and every ``<expr>.release(<var>)`` site (:class:`ReleaseSite` — the
+  rules correlate them with acquires by grant variable name, so
+  ``InodeTable.release(number)`` never masquerades as a lock release);
+* ``yield from`` delegations and ``return f(...)`` forwarding, so a
+  helper chain introduced by de-processification resolves to the
+  function that actually suspends (:meth:`ProjectIndex.process_constructors`,
+  :meth:`ProjectIndex.blocking_functions`);
+* ``# repro: guarded_by(<lock>)`` field declarations, parsed from the
+  source comment on (or immediately above) the attribute definition;
+* typed attribute resolution: ``self.cache.insert(...)`` resolves to
+  ``BulletCache.insert`` when the caller's class annotates
+  ``self.cache: BulletCache`` (or assigns ``self.cache =
+  BulletCache(...)``), and ``server.locks.release(...)`` resolves
+  through a ``server: BulletServer`` parameter annotation — giving the
+  L-rules a call graph that survives the server's delegation into its
+  cache/free-list/lock-table objects.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
-__all__ = ["CallRef", "FunctionInfo", "ModuleInfo", "OpcodeRef", "ProjectIndex"]
+__all__ = [
+    "CallRef",
+    "FunctionInfo",
+    "GuardedField",
+    "LockSite",
+    "ModuleInfo",
+    "OpcodeRef",
+    "ProjectIndex",
+    "ReleaseSite",
+    "guard_comment_map",
+]
+
+#: ``# repro: guarded_by(locks)`` — the lock table attribute whose grant
+#: must be held to mutate the annotated field.
+_GUARDED = re.compile(r"#\s*repro:\s*guarded_by\(\s*([A-Za-z_][\w.]*)\s*\)")
+
+_ACQUIRE_METHODS = {"acquire_read": "read", "acquire_write": "write"}
 
 
 @dataclass(frozen=True)
@@ -40,6 +80,47 @@ class CallRef:
     lineno: int
 
 
+@dataclass(frozen=True)
+class LockSite:
+    """One ``<table>.acquire_read/acquire_write(...)`` call site.
+
+    ``table`` is the dotted expression the acquire was called on
+    (``self.locks``, ``locks``, ``server.locks``); ``table_name`` its
+    terminal segment, which is how guard declarations name the lock.
+    ``target`` is the variable the grant was bound to, or ``None`` when
+    the grant was discarded.
+    """
+
+    table: str
+    mode: str
+    target: Optional[str]
+    lineno: int
+
+    @property
+    def table_name(self) -> str:
+        return self.table.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class ReleaseSite:
+    """One ``<expr>.release(<var>)`` call site (any receiver)."""
+
+    table: str
+    grant: Optional[str]
+    lineno: int
+    in_finally: bool
+
+
+@dataclass(frozen=True)
+class GuardedField:
+    """A ``# repro: guarded_by(<lock>)`` declaration on a class field."""
+
+    cls: str
+    attr: str
+    lock: str
+    lineno: int
+
+
 @dataclass
 class FunctionInfo:
     module: str
@@ -47,11 +128,22 @@ class FunctionInfo:
     name: str
     lineno: int
     is_generator: bool
-    params: list = field(default_factory=list)   # (name, annotation text | None)
-    calls: list = field(default_factory=list)    # CallRef
+    params: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    calls: List[CallRef] = field(default_factory=list)
+    acquires: List[LockSite] = field(default_factory=list)
+    releases: List[ReleaseSite] = field(default_factory=list)
+    #: ``yield from f(...)`` call targets — delegation edges.
+    delegations: List[CallRef] = field(default_factory=list)
+    #: ``return f(...)`` call targets — forwarding edges.
+    returned_calls: List[CallRef] = field(default_factory=list)
+    #: Terminal names of calls yielded directly (``yield q.get()``).
+    yielded_call_names: Set[str] = field(default_factory=set)
+    #: Mutations of ``<base>.<attr>`` (or ``<base>.<attr>[k]``):
+    #: (base dotted expr, attribute, lineno).
+    attr_writes: List[Tuple[str, str, int]] = field(default_factory=list)
 
     @property
-    def key(self) -> tuple:
+    def key(self) -> Tuple[str, Optional[str], str]:
         return (self.module, self.cls, self.name)
 
     @property
@@ -77,6 +169,28 @@ class ModuleInfo:
     table_linenos: dict = field(default_factory=dict)  # table name -> def lineno
     opcode_refs: list = field(default_factory=list)    # OpcodeRef
     class_attr_annotations: dict = field(default_factory=dict)  # cls -> {attr: ann}
+    #: cls -> {attr: class name} inferred from ``self.attr = ClassName(...)``.
+    class_attr_constructors: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    classes: Set[str] = field(default_factory=set)
+    #: cls -> {attr: GuardedField}
+    guarded_fields: Dict[str, Dict[str, GuardedField]] = field(default_factory=dict)
+
+
+def guard_comment_map(lines: Iterable[str]) -> Dict[int, str]:
+    """Map each source line to the ``guarded_by`` lock it declares.
+
+    A pragma on a code line applies to that line's statement; a pragma on
+    a comment-only line applies to the next line, mirroring the allow()
+    pragma convention in :mod:`.framework`.
+    """
+    guards: Dict[int, str] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _GUARDED.search(line)
+        if match is None:
+            continue
+        target = lineno if line[: match.start()].strip() else lineno + 1
+        guards[target] = match.group(1)
+    return guards
 
 
 def _is_generator_body(body: Iterable[ast.stmt]) -> bool:
@@ -111,7 +225,7 @@ def _is_generator_body(body: Iterable[ast.stmt]) -> bool:
 
 def dotted_name(node: ast.expr) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: list = []
+    parts: List[str] = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
@@ -137,6 +251,21 @@ def call_ref(node: ast.Call) -> Optional[CallRef]:
     return None
 
 
+def _bare_type(annotation: str) -> Optional[str]:
+    """The class name an annotation refers to, if it is a plain one.
+
+    ``BulletCache`` / ``"BulletCache"`` / ``Optional[BulletCache]`` all
+    yield ``BulletCache``; containers and unions yield None.
+    """
+    text = annotation.strip().strip("'\"")
+    match = re.fullmatch(r"(?:typing\.)?Optional\[(.+)\]", text)
+    if match is not None:
+        text = match.group(1).strip().strip("'\"")
+    if re.fullmatch(r"[A-Za-z_][\w.]*", text) is None:
+        return None
+    return text.rsplit(".", 1)[-1]
+
+
 def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
     """Absolute module name for a ``from ...target import`` statement."""
     if level == 0:
@@ -151,15 +280,18 @@ def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
 class _ModuleVisitor(ast.NodeVisitor):
     """One pass collecting everything :class:`ModuleInfo` holds."""
 
-    def __init__(self, info: ModuleInfo):
+    def __init__(self, info: ModuleInfo, guards: Optional[Dict[int, str]] = None):
         self.info = info
-        self._class_stack: list = []
-        self._function_stack: list = []
+        self.guards = guards or {}
+        self._class_stack: List[str] = []
+        self._function_stack: List[FunctionInfo] = []
+        self._finally_depth = 0
 
     # ------------------------------------------------------------ scopes
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._class_stack.append(node.name)
+        self.info.classes.add(node.name)
         # Class-body annotations (``members: set[int]``) declare instance
         # attributes just as ``self.members: set[int]`` in __init__ does.
         annotations = self.info.class_attr_annotations.setdefault(node.name, {})
@@ -168,10 +300,13 @@ class _ModuleVisitor(ast.NodeVisitor):
                 stmt.target, ast.Name
             ):
                 annotations[stmt.target.id] = ast.unparse(stmt.annotation)
+                self._record_guard(stmt.target.id, stmt.lineno)
         self.generic_visit(node)
         self._class_stack.pop()
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(
+            self,
+            node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
         cls = self._class_stack[-1] if self._class_stack else None
         nested = bool(self._function_stack)
         fn = FunctionInfo(
@@ -201,6 +336,16 @@ class _ModuleVisitor(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node)
 
+    def visit_Try(self, node: ast.Try) -> None:
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        for handler in node.handlers:
+            self.visit(handler)
+        self._finally_depth += 1
+        for stmt in node.finalbody:
+            self.visit(stmt)
+        self._finally_depth -= 1
+
     # ------------------------------------------------------------ facts
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -211,8 +356,90 @@ class _ModuleVisitor(ast.NodeVisitor):
             self.info.imports[alias.asname or alias.name] = (source, alias.name)
         self.generic_visit(node)
 
+    def _record_guard(self, attr: str, lineno: int) -> None:
+        if not self._class_stack:
+            return
+        lock = self.guards.get(lineno)
+        if lock is None:
+            return
+        cls = self._class_stack[-1]
+        self.info.guarded_fields.setdefault(cls, {})[attr] = GuardedField(
+            cls=cls, attr=attr, lock=lock, lineno=lineno
+        )
+
+    def _record_self_attr(self, target: ast.expr, value: Optional[ast.expr],
+                          lineno: int) -> None:
+        """Instance-attribute facts from a ``self.attr`` assignment."""
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._class_stack
+        ):
+            return
+        self._record_guard(target.attr, lineno)
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id[:1].isupper()
+        ):
+            constructors = self.info.class_attr_constructors.setdefault(
+                self._class_stack[-1], {}
+            )
+            constructors.setdefault(target.attr, value.func.id)
+
+    def _record_write(self, target: ast.expr, lineno: int) -> None:
+        if not self._function_stack:
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_write(elt, lineno)
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if not isinstance(node, ast.Attribute):
+            return
+        base = dotted_name(node.value)
+        if base is not None:
+            self._function_stack[-1].attr_writes.append((base, node.attr, lineno))
+
+    def _record_acquire(self, target: Optional[str], value: ast.expr,
+                        lineno: int) -> bool:
+        if not (
+            self._function_stack
+            and isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _ACQUIRE_METHODS
+        ):
+            return False
+        table = dotted_name(value.func.value) or value.func.attr
+        self._function_stack[-1].acquires.append(
+            LockSite(
+                table=table,
+                mode=_ACQUIRE_METHODS[value.func.attr],
+                target=target,
+                lineno=lineno,
+            )
+        )
+        return True
+
     def visit_Assign(self, node: ast.Assign) -> None:
         self._record_opcode_table(node.targets, node.value, node.lineno)
+        for target in node.targets:
+            self._record_self_attr(target, node.value, node.lineno)
+            self._record_write(target, node.lineno)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._record_acquire(node.targets[0].id, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_write(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_write(target, node.lineno)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -227,11 +454,21 @@ class _ModuleVisitor(ast.NodeVisitor):
                 self._class_stack[-1], {}
             )
             annotations[target.attr] = ast.unparse(node.annotation)
+            self._record_self_attr(target, node.value, node.lineno)
+        self._record_write(target, node.lineno)
         if node.value is not None:
             self._record_opcode_table([target], node.value, node.lineno)
+            if isinstance(target, ast.Name):
+                self._record_acquire(target.id, node.value, node.lineno)
         self.generic_visit(node)
 
-    def _record_opcode_table(self, targets, value, lineno: int) -> None:
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # A discarded acquire (``t.acquire_write(n)`` as a statement).
+        self._record_acquire(None, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def _record_opcode_table(self, targets: List[ast.expr], value: ast.expr,
+                             lineno: int) -> None:
         if self._function_stack or not isinstance(value, ast.Dict):
             return
         for target in targets:
@@ -264,6 +501,41 @@ class _ModuleVisitor(ast.NodeVisitor):
             ref = call_ref(node)
             if ref is not None:
                 self._function_stack[-1].calls.append(ref)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+                and len(node.args) == 1
+            ):
+                grant = node.args[0].id if isinstance(node.args[0], ast.Name) else None
+                self._function_stack[-1].releases.append(
+                    ReleaseSite(
+                        table=dotted_name(node.func.value) or "release",
+                        grant=grant,
+                        lineno=node.lineno,
+                        in_finally=self._finally_depth > 0,
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if self._function_stack and isinstance(node.value, ast.Call):
+            ref = call_ref(node.value)
+            if ref is not None:
+                self._function_stack[-1].yielded_call_names.add(ref.name)
+        self.generic_visit(node)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if self._function_stack and isinstance(node.value, ast.Call):
+            ref = call_ref(node.value)
+            if ref is not None:
+                self._function_stack[-1].delegations.append(ref)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if self._function_stack and isinstance(node.value, ast.Call):
+            ref = call_ref(node.value)
+            if ref is not None:
+                self._function_stack[-1].returned_calls.append(ref)
         self.generic_visit(node)
 
 
@@ -271,33 +543,50 @@ class ProjectIndex:
     """The cross-module facts shared by every rule."""
 
     def __init__(self) -> None:
-        self.modules: dict[str, ModuleInfo] = {}
+        self.modules: Dict[str, ModuleInfo] = {}
+        self._class_locations: Dict[str, Optional[Tuple[str, str]]] = {}
+        #: Memo for the derived-set fixpoints (the index is immutable
+        #: once built, so each is computed at most once per run).
+        self._memo: Dict[object, object] = {}
 
     @classmethod
     def build(cls, files: Iterable[tuple]) -> "ProjectIndex":
-        """``files`` is an iterable of (path, module, tree) triples."""
+        """``files`` yields (path, module, tree) or (path, module, tree,
+        source_lines) tuples; the lines enable guarded_by parsing."""
         index = cls()
-        for path, module, tree in files:
+        for entry in files:
+            path, module, tree = entry[0], entry[1], entry[2]
+            lines = entry[3] if len(entry) > 3 else None
+            guards = guard_comment_map(lines) if lines is not None else {}
             info = ModuleInfo(module=module, path=path)
-            _ModuleVisitor(info).visit(tree)
+            _ModuleVisitor(info, guards).visit(tree)
             index.modules[module] = info
+        for module, info in index.modules.items():
+            for name in info.classes:
+                # A class name resolves globally only while unambiguous.
+                if name in index._class_locations:
+                    index._class_locations[name] = None
+                else:
+                    index._class_locations[name] = (module, name)
         return index
 
     # -------------------------------------------------------- resolution
 
-    def function(self, module: str, cls: Optional[str], name: str):
+    def function(self, module: str, cls: Optional[str],
+                 name: str) -> Optional[FunctionInfo]:
         info = self.modules.get(module)
         if info is None:
             return None
         return info.functions.get((cls, name))
 
-    def resolve_call(self, caller: FunctionInfo, ref: CallRef):
+    def resolve_call(self, caller: FunctionInfo,
+                     ref: CallRef) -> Optional[FunctionInfo]:
         """The :class:`FunctionInfo` a call refers to, if it is indexable.
 
         ``self.x(...)`` resolves within the caller's class; a bare name
         resolves to a module-level function, a sibling nested helper, or
         a project-relative import. Dotted calls on other objects are not
-        resolved (we do not track types).
+        resolved here (see :meth:`resolve_call_typed`).
         """
         if ref.kind == "self":
             return self.function(caller.module, caller.cls, ref.name)
@@ -313,7 +602,102 @@ class ProjectIndex:
                 return self.function(source, None, original)
         return None
 
+    def class_location(self, name: str) -> Optional[Tuple[str, str]]:
+        """(module, class) for a project class name unique in the tree."""
+        return self._class_locations.get(name)
+
+    def attr_class(self, module: str, cls: str, attr: str) -> Optional[Tuple[str, str]]:
+        """The declared/inferred class of ``<cls instance>.<attr>``."""
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        annotation = info.class_attr_annotations.get(cls, {}).get(attr)
+        if annotation is not None:
+            bare = _bare_type(annotation)
+            if bare is not None:
+                located = self.class_location(bare)
+                if located is not None:
+                    return located
+        constructor = info.class_attr_constructors.get(cls, {}).get(attr)
+        if constructor is not None:
+            return self.class_location(constructor)
+        return None
+
+    def resolve_base_class(
+        self, caller: FunctionInfo, base: str
+    ) -> Optional[Tuple[str, str]]:
+        """The class a dotted base expression denotes inside ``caller``.
+
+        ``self`` is the caller's class; a leading annotated parameter
+        (``server: BulletServer``) starts a chain; each further segment
+        hops through :meth:`attr_class`.
+        """
+        parts = base.split(".")
+        current: Optional[Tuple[str, str]] = None
+        if parts[0] == "self":
+            if caller.cls is None:
+                return None
+            current = (caller.module, caller.cls)
+        else:
+            for param, annotation in caller.params:
+                if param == parts[0] and annotation is not None:
+                    bare = _bare_type(annotation)
+                    if bare is not None:
+                        current = self.class_location(bare)
+                    break
+        for part in parts[1:]:
+            if current is None:
+                return None
+            current = self.attr_class(current[0], current[1], part)
+        return current
+
+    def resolve_call_typed(self, caller: FunctionInfo,
+                           ref: CallRef) -> Optional[FunctionInfo]:
+        """:meth:`resolve_call` extended through typed attribute chains,
+        so ``self.cache.insert(...)`` reaches ``BulletCache.insert``."""
+        found = self.resolve_call(caller, ref)
+        if found is not None:
+            return found
+        if "." not in ref.dotted:
+            return None
+        base, method = ref.dotted.rsplit(".", 1)
+        located = self.resolve_base_class(caller, base)
+        if located is None:
+            return None
+        return self.function(located[0], located[1], method)
+
     # ------------------------------------------------------- derived sets
+
+    def all_functions(self) -> Iterable[FunctionInfo]:
+        for info in self.modules.values():
+            yield from info.functions.values()
+
+    def guarded_field(self, cls_location: Tuple[str, str],
+                      attr: str) -> Optional[GuardedField]:
+        info = self.modules.get(cls_location[0])
+        if info is None:
+            return None
+        return info.guarded_fields.get(cls_location[1], {}).get(attr)
+
+    def all_guarded_fields(self) -> Iterable[Tuple[str, GuardedField]]:
+        for module, info in self.modules.items():
+            for fields in info.guarded_fields.values():
+                for guarded in fields.values():
+                    yield module, guarded
+
+    def callers(self) -> Dict[tuple, Set[tuple]]:
+        """callee key -> caller keys, over typed-resolvable call sites."""
+        memo = self._memo.get("callers")
+        if memo is not None:
+            return memo  # type: ignore[return-value]
+        graph: Dict[tuple, Set[tuple]] = {}
+        for fn in self.all_functions():
+            for ref in fn.calls:
+                callee = self.resolve_call_typed(fn, ref)
+                if callee is not None and callee.key != fn.key:
+                    graph.setdefault(callee.key, set()).add(fn.key)
+        self._memo["callers"] = graph
+        return graph
 
     def rights_checkers(self, extra_validators: Iterable[str] = ()) -> set:
         """Fixpoint of functions that perform a rights check.
@@ -344,3 +728,160 @@ class ProjectIndex:
                             changed = True
                             break
         return checkers
+
+    def process_constructors(self) -> Set[tuple]:
+        """Fixpoint of functions whose call produces a process generator.
+
+        Seeded by generator functions; closed over ``return f(...)``
+        forwarding, so a plain wrapper that returns a generator-returning
+        call is itself something ``env.process`` must consume. S001 uses
+        this instead of ``is_generator`` so PR 6's delegation chains are
+        judged by what they ultimately construct.
+        """
+        memo = self._memo.get("process_constructors")
+        if memo is not None:
+            return memo  # type: ignore[return-value]
+        constructors: Set[tuple] = {
+            fn.key for fn in self.all_functions() if fn.is_generator
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.all_functions():
+                if fn.key in constructors or fn.is_generator:
+                    continue
+                for ref in fn.returned_calls:
+                    callee = self.resolve_call_typed(fn, ref)
+                    if callee is not None and callee.key in constructors:
+                        constructors.add(fn.key)
+                        changed = True
+                        break
+        self._memo["process_constructors"] = constructors
+        return constructors
+
+    def blocking_functions(self, seeds: Iterable[str]) -> Set[tuple]:
+        """Fixpoint of generators that block on an external-input primitive.
+
+        Seeded by a direct ``yield q.<seed>()`` (e.g. ``get``/``getreq``);
+        closed over ``yield from`` delegation and ``return f(...)``
+        forwarding, so a helper chain that bottoms out in a mailbox wait
+        is blocking at every link. L002 refuses to let these run under a
+        held write grant.
+        """
+        seed_names = set(seeds)
+        memo_key = ("blocking", tuple(sorted(seed_names)))
+        memo = self._memo.get(memo_key)
+        if memo is not None:
+            return memo  # type: ignore[return-value]
+        blocking: Set[tuple] = {
+            fn.key
+            for fn in self.all_functions()
+            if fn.yielded_call_names & seed_names
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.all_functions():
+                if fn.key in blocking:
+                    continue
+                for ref in list(fn.delegations) + list(fn.returned_calls):
+                    callee = self.resolve_call_typed(fn, ref)
+                    if callee is not None and callee.key in blocking:
+                        blocking.add(fn.key)
+                        changed = True
+                        break
+        self._memo[memo_key] = blocking
+        return blocking
+
+    def direct_acquirers(self) -> Dict[tuple, Set[str]]:
+        """fn key -> lock-table names it acquires in its own body."""
+        return {
+            fn.key: {site.table_name for site in fn.acquires}
+            for fn in self.all_functions()
+            if fn.acquires
+        }
+
+    def transitive_acquirers(self) -> Dict[tuple, Set[str]]:
+        """fn key -> lock-table names it (transitively) acquires.
+
+        Closed over typed-resolvable calls, delegations, and forwarding:
+        calling ``compact_disk`` acquires ``locks`` as surely as calling
+        ``acquire_write`` yourself. L003 uses this to see the acquire
+        hiding behind a call made while a grant is held.
+        """
+        memo = self._memo.get("transitive_acquirers")
+        if memo is not None:
+            return memo  # type: ignore[return-value]
+        acquired: Dict[tuple, Set[str]] = {
+            key: set(tables) for key, tables in self.direct_acquirers().items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.all_functions():
+                mine = acquired.get(fn.key, set())
+                before = len(mine)
+                for ref in fn.calls:
+                    callee = self.resolve_call_typed(fn, ref)
+                    if callee is not None and callee.key in acquired:
+                        mine |= acquired[callee.key]
+                if len(mine) > before or (mine and fn.key not in acquired):
+                    acquired[fn.key] = mine
+                    changed = True
+        self._memo["transitive_acquirers"] = acquired
+        return acquired
+
+    def lock_order_edges(self) -> List[Tuple[str, str, str, int, str]]:
+        """Global lock-order graph edges from nested-acquire sites.
+
+        Each edge is (held table, acquired table, module, lineno,
+        detail): while a grant from the first table is held, a grant
+        from the second is acquired — directly, or through a call into a
+        function that transitively acquires. The held interval is
+        approximated by line span (acquire line to the last release line
+        naming the same grant variable, or function end); re-acquiring
+        into the *same* variable is the release-then-upgrade dance, not
+        nesting, and adds no edge.
+        """
+        memo = self._memo.get("lock_order_edges")
+        if memo is not None:
+            return memo  # type: ignore[return-value]
+        acquired_map = self.transitive_acquirers()
+        edges: List[Tuple[str, str, str, int, str]] = []
+        for fn in self.all_functions():
+            for site in fn.acquires:
+                if site.target is None:
+                    continue
+                ends = [
+                    rel.lineno
+                    for rel in fn.releases
+                    if rel.grant == site.target and rel.lineno >= site.lineno
+                ]
+                end = max(ends) if ends else 1_000_000_000
+                for other in fn.acquires:
+                    if other.target == site.target:
+                        continue
+                    if site.lineno < other.lineno <= end:
+                        edges.append((
+                            site.table_name, other.table_name, fn.module,
+                            other.lineno,
+                            f"{fn.qualname} acquires {other.table_name} while "
+                            f"holding {site.table_name} (grant "
+                            f"`{site.target}` from line {site.lineno})",
+                        ))
+                for ref in fn.calls:
+                    if not site.lineno < ref.lineno <= end:
+                        continue
+                    callee = self.resolve_call_typed(fn, ref)
+                    if callee is None:
+                        continue
+                    for table in sorted(acquired_map.get(callee.key, ())):
+                        edges.append((
+                            site.table_name, table, fn.module, ref.lineno,
+                            f"{fn.qualname} calls {callee.qualname} (which "
+                            f"acquires {table}) while holding "
+                            f"{site.table_name} (grant `{site.target}` from "
+                            f"line {site.lineno})",
+                        ))
+        self._memo["lock_order_edges"] = edges
+        return edges

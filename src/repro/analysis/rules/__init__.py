@@ -13,6 +13,16 @@ Importing this package registers every rule with the framework registry:
   agree.
 * A001 ``assert-as-validation`` — library validation must survive
   ``python -O``.
+* L001 ``lock-leak`` — acquired grants reach release on every path.
+* L002 ``yield-under-lock`` — no unbounded suspension under a write
+  grant.
+* L003 ``lock-order violation`` — the nested-acquire graph stays
+  acyclic.
+* L004 ``unlocked-shared-access`` — ``guarded_by`` fields are only
+  written with the lock held.
+
+(P001 ``stale pragma`` is registered by the framework itself and driven
+by the engine's ``--strict-pragmas`` pass.)
 """
 
-from . import asserts, caps, determinism, simproc  # noqa: F401  (registration)
+from . import asserts, caps, concurrency, determinism, simproc  # noqa: F401  (registration)

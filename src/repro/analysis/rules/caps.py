@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from ..framework import FileContext, Finding, Rule, register
-from ..index import FunctionInfo
+from ..index import FunctionInfo, ModuleInfo
 
 __all__ = ["MissingRightsCheck", "DeadOrMissingOpcode"]
 
@@ -132,7 +132,8 @@ class DeadOrMissingOpcode(Rule):
                     ),
                 )
 
-    def _resolve_table(self, ctx: FileContext, info, table_name: str) -> Optional[dict]:
+    def _resolve_table(self, ctx: FileContext, info: ModuleInfo,
+                       table_name: str) -> Optional[dict]:
         if table_name in info.opcode_tables:
             return info.opcode_tables[table_name]
         imported = info.imports.get(table_name)

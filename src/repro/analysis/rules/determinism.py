@@ -272,7 +272,8 @@ class UnorderedIteration(Rule):
             and parent.args[0] is node
         )
 
-    def _map_scopes(self, node: ast.AST, fn, cls, out: dict) -> None:
+    def _map_scopes(self, node: ast.AST, fn: Optional[ast.AST],
+                    cls: Optional[str], out: dict) -> None:
         for child in ast.iter_child_nodes(node):
             child_fn, child_cls = fn, cls
             if isinstance(node, ast.ClassDef):

@@ -87,10 +87,27 @@ class UnyieldedProcess(Rule):
                                   name="<stmt>", lineno=node.lineno,
                                   is_generator=False)
             target = ctx.index.resolve_call(caller, ref)
-            if target is not None and target.is_generator:
+            if target is None:
+                continue
+            # Judge by what the call ultimately constructs, not by the
+            # callee's own body: a plain wrapper that `return`s a
+            # generator-returning call (PR 6's de-processified helper
+            # chains) drops the process just as surely as calling the
+            # generator itself.
+            if target.key not in ctx.index.process_constructors():
+                continue
+            if target.is_generator:
                 yield self.make(
                     ctx, node,
                     f"generator process `{ref.dotted}(...)` is created but "
+                    f"never runs; drive it with `yield from "
+                    f"{ref.dotted}(...)` or `yield env.process(...)`",
+                )
+            else:
+                yield self.make(
+                    ctx, node,
+                    f"`{ref.dotted}(...)` returns a generator process "
+                    f"(through its delegation chain) that is created but "
                     f"never runs; drive it with `yield from "
                     f"{ref.dotted}(...)` or `yield env.process(...)`",
                 )

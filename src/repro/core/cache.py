@@ -100,10 +100,14 @@ class BulletCache:
         #: Called with the evicted file's inode number, so the server can
         #: clear the inode's index field.
         self.on_evict = on_evict
-        self._arena = ExtentFreeList(0, capacity_bytes, strategy="first_fit")
+        self._arena: ExtentFreeList = ExtentFreeList(
+            0, capacity_bytes, strategy="first_fit")
         self._attach_arena_gauges(owner)
-        self._rnodes: dict[int, Rnode] = {}
-        self._by_inode: dict[int, Rnode] = {}
+        # The rnode maps are mutated by every insert/remove/evict; under
+        # a worker pool those run concurrently, so mutation is only legal
+        # while the caller holds the file's lock in the server's table.
+        self._rnodes: dict[int, Rnode] = {}     # repro: guarded_by(locks)
+        self._by_inode: dict[int, Rnode] = {}   # repro: guarded_by(locks)
         self._free_slots = list(range(rnode_count, 0, -1))
         self._tick = 0
 

@@ -52,9 +52,12 @@ class ExtentFreeList:
         self.area_start = area_start
         self.area_size = area_size
         self.strategy = strategy
-        # Parallel sorted arrays of hole starts and lengths.
-        self._starts: list[int] = [area_start] if area_size else []
-        self._lengths: list[int] = [area_size] if area_size else []
+        # Parallel sorted arrays of hole starts and lengths. Allocation
+        # and free run from concurrent handlers (CREATE/DELETE/AGE) and
+        # from compaction; mutation is only legal under a file lock from
+        # the owning server's table (or before service starts).
+        self._starts: list[int] = [area_start] if area_size else []    # repro: guarded_by(locks)
+        self._lengths: list[int] = [area_size] if area_size else []    # repro: guarded_by(locks)
         # Observability gauges (repro.obs), published after every
         # mutation once attached.
         self._gauges: Optional[tuple] = None

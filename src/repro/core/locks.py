@@ -33,11 +33,13 @@ ties break by insertion order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import List, Optional, Tuple
 
-from ..errors import ConsistencyError
+from ..analysis.runtime import active_checker
+from ..errors import ConsistencyError, DeadlockError
 from ..obs import MetricsRegistry
 from ..sim import Environment, Event
+from ..sim.core import Process
 
 __all__ = ["LockGrant", "FileLockTable"]
 
@@ -54,7 +56,7 @@ class LockGrant(Event):
     :meth:`FileLockTable.release`.
     """
 
-    __slots__ = ("key", "mode", "requested_at", "released")
+    __slots__ = ("key", "mode", "requested_at", "released", "owner")
 
     def __init__(self, env: Environment, key: int, mode: str):
         super().__init__(env)
@@ -62,6 +64,10 @@ class LockGrant(Event):
         self.mode = mode
         self.requested_at = env.now
         self.released = False
+        #: The sim process that requested the grant (None when acquired
+        #: from outside any process, e.g. direct test pokes). Feeds the
+        #: waits-for graph and the runtime lockset checker.
+        self.owner: Optional[Process] = env.active_process
 
 
 class _FileLock:
@@ -69,7 +75,7 @@ class _FileLock:
 
     __slots__ = ("readers", "writer", "queue")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.readers: set[LockGrant] = set()
         self.writer: Optional[LockGrant] = None
         self.queue: deque[LockGrant] = deque()
@@ -86,8 +92,14 @@ class FileLockTable:
                  metrics: Optional[MetricsRegistry] = None,
                  owner: str = "bullet"):
         self.env = env
+        self._name = owner
         registry = metrics if metrics is not None else MetricsRegistry()
         self._locks: dict[int, _FileLock] = {}
+        # Waits-for bookkeeping: which grant each queued process is
+        # blocked on. One entry per process (a process yields on its
+        # grant, so it can wait on at most one at a time). Checked for
+        # cycles on every contended enqueue — see _find_cycle.
+        self._waiting: dict[Process, LockGrant] = {}
         self._wait_hist = registry.histogram(
             "repro_lock_wait_seconds", server=owner)
         self._acquired = {
@@ -142,9 +154,24 @@ class FileLockTable:
         else:
             self._contended.inc()
             lock.queue.append(grant)
+            if grant.owner is not None:
+                self._waiting[grant.owner] = grant
+                cycle = self._find_cycle(grant.owner)
+                if cycle is not None:
+                    # The grant can never be admitted: fail the acquire
+                    # synchronously (before the caller ever yields) and
+                    # leave the table exactly as it was.
+                    lock.queue.remove(grant)
+                    del self._waiting[grant.owner]
+                    raise DeadlockError(_render_cycle(cycle))
         return grant
 
     def _admit(self, lock: _FileLock, grant: LockGrant) -> None:
+        if grant.owner is not None:
+            self._waiting.pop(grant.owner, None)
+            checker = active_checker()
+            if checker is not None:
+                checker.on_acquire(grant.owner, self._name, grant.key)
         was_held = bool(lock.readers) or lock.writer is not None
         if grant.mode == READ:
             lock.readers.add(grant)
@@ -161,6 +188,25 @@ class FileLockTable:
         if not self.env.try_finish_now(grant, grant):
             grant.succeed(grant)
 
+    # ----------------------------------------------------------- transfer
+
+    def transfer(self, grant: LockGrant, new_owner: Optional[Process]) -> None:
+        """Hand a *held* grant to another process (the CREATE settle
+        watcher owns the new file's write grant from the moment it is
+        forked). Waits-for edges and lockset holdings follow the new
+        owner: without this, the creator would appear to block on
+        itself the instant it re-reads the file it just created."""
+        old = grant.owner
+        if old is new_owner:
+            return
+        checker = active_checker()
+        if checker is not None:
+            if old is not None:
+                checker.on_release(old, self._name, grant.key)
+            if new_owner is not None:
+                checker.on_acquire(new_owner, self._name, grant.key)
+        grant.owner = new_owner
+
     # ------------------------------------------------------------ release
 
     def release(self, grant: LockGrant) -> None:
@@ -173,6 +219,7 @@ class FileLockTable:
         if lock is None:
             raise ConsistencyError(
                 f"release of unknown lock key {grant.key}")
+        was_held = True
         if grant in lock.readers:
             lock.readers.discard(grant)
             if not lock.readers and lock.writer is None:
@@ -181,12 +228,19 @@ class FileLockTable:
             lock.writer = None
             self._held_count -= 1
         else:
+            was_held = False
             try:
                 lock.queue.remove(grant)
             except ValueError:
                 raise ConsistencyError(
                     f"grant for inode {grant.key} is neither held nor queued"
                 ) from None
+            if grant.owner is not None:
+                self._waiting.pop(grant.owner, None)
+        if was_held and grant.owner is not None:
+            checker = active_checker()
+            if checker is not None:
+                checker.on_release(grant.owner, self._name, grant.key)
         self._promote(lock)
         if lock.idle:
             del self._locks[grant.key]
@@ -207,3 +261,66 @@ class FileLockTable:
                 return
             lock.queue.popleft()
             self._admit(lock, head)
+
+    # ----------------------------------------------- deadlock detection
+
+    def _blockers(self, grant: LockGrant) -> List[Process]:
+        """The processes a queued ``grant`` is waiting on: every current
+        holder plus every grant ahead of it in the FIFO queue (fairness
+        means it cannot jump any of them). Sorted by process creation
+        serial so traversal — and therefore the reported cycle — is
+        replay-stable."""
+        lock = self._locks.get(grant.key)
+        if lock is None:
+            return []
+        procs: set[Process] = set()
+        for holder in lock.readers:
+            if holder.owner is not None:
+                procs.add(holder.owner)
+        if lock.writer is not None and lock.writer.owner is not None:
+            procs.add(lock.writer.owner)
+        for queued in lock.queue:
+            if queued is grant:
+                break
+            if queued.owner is not None:
+                procs.add(queued.owner)
+        return sorted(procs, key=lambda p: p._serial)
+
+    def _find_cycle(
+            self, start: Process) -> Optional[List[Tuple[Process, LockGrant]]]:
+        """DFS over the waits-for graph from ``start`` (which just
+        enqueued). Any new cycle must pass through the edge added last,
+        i.e. through ``start`` — detection at every enqueue means no
+        pre-existing cycle can be lurking elsewhere. Returns the cycle
+        as (process, grant-it-waits-on) pairs, or None."""
+        path: List[Tuple[Process, LockGrant]] = []
+        on_path: set[Process] = set()
+
+        def visit(proc: Process) -> Optional[List[Tuple[Process, LockGrant]]]:
+            grant = self._waiting.get(proc)
+            if grant is None:
+                return None
+            path.append((proc, grant))
+            on_path.add(proc)
+            for blocker in self._blockers(grant):
+                if blocker is start:
+                    return list(path)
+                if blocker in on_path:
+                    continue
+                found = visit(blocker)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(proc)
+            return None
+
+        return visit(start)
+
+
+def _render_cycle(cycle: List[Tuple[Process, LockGrant]]) -> str:
+    parts = [
+        f"{proc.name} waits for {grant.mode} on inode {grant.key}"
+        for proc, grant in cycle
+    ]
+    return (f"waits-for cycle among {len(cycle)} process(es): "
+            + "; ".join(parts))

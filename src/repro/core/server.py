@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..analysis.runtime import active_checker
 from ..capability import (
     Capability,
     RIGHT_DELETE,
@@ -173,7 +174,9 @@ class BulletServer:
         self._cache_policy = cache_policy
         self._alloc_strategy = alloc_strategy
         self._verified_caps = VerifiedCapCache(testbed.bullet.cap_cache_entries)
-        self._lives: dict[int, int] = {}
+        # Aging clocks are mutated by concurrent CREATE/TOUCH/AGE/DELETE
+        # handlers; every write goes through the inode's write lock.
+        self._lives: dict[int, int] = {}  # repro: guarded_by(locks)
         self._endpoint = None
         self._serve_procs: list = []
         self._booted = False
@@ -328,12 +331,18 @@ class BulletServer:
                 inode_block_bytes=self.table.encode_block(inode_block),
                 p_factor=p_factor,
             )
+            # Start the aging clock while this handler still owns the
+            # write grant: a TOUCH or AGE sweep can only see the entry
+            # after taking the lock.
+            self._note_lives_access(number)
+            self._lives[number] = self.testbed.bullet.max_lives
             # Fork the settle watcher: it owns the write grant from here
             # and accounts any background replica failure (satellite fix:
             # p=0 used to drop those on the floor).
-            self.env.process(  # repro: allow(S001)
+            settle = self.env.process(
                 self._settle_create(number, write_grant, replicated.writes))
             settling = True
+            self.locks.transfer(write_grant, settle)
             if p_factor > 0:
                 yield replicated.durable
         finally:
@@ -341,7 +350,6 @@ class BulletServer:
                 self.locks.release(write_grant)
         self.stats.creates += 1
         self.stats.bytes_created += size
-        self._lives[number] = self.testbed.bullet.max_lives
         if self._tracer is not None:
             self._trace("bullet", "create", inode=number, size=size,
                         p=p_factor)
@@ -356,7 +364,11 @@ class BulletServer:
         try:
             for write in writes:
                 try:
-                    yield write
+                    # Intentional blocking section: holding the write
+                    # grant until the replica writes settle is the whole
+                    # point of the handoff (no reader may chase the
+                    # extent to disk before it is durable).
+                    yield write  # repro: allow(L002)
                 except ReproError as exc:
                     self._bg_write_failures.inc()
                     self._trace("bullet", "background replica write failed",
@@ -461,7 +473,14 @@ class BulletServer:
         if blocks:
             self.disk_free.free(start_block, blocks)
         self._forget_caps(number)
+        self._note_lives_access(number)
         self._lives.pop(number, None)
+        # The inode number is now free for reincarnation: the next file
+        # under it is a different object, so its lockset history starts
+        # from scratch.
+        checker = active_checker()
+        if checker is not None:
+            checker.reset((f"{self.name}._lives", number))
         inode_block = self.table.block_of_inode(number)
         yield replicated_inode_write(
             self.env, self.mirror, inode_block, self.table.encode_block(inode_block)
@@ -531,9 +550,20 @@ class BulletServer:
         """
         self._require_booted()
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
-        number, _inode = yield from self._check(cap, 0)
-        self._lives[number] = self.testbed.bullet.max_lives
-        return self._lives[number]
+        # The lives table is lock-guarded state: take the write lock so
+        # a touch cannot interleave with a concurrent AGE sweep's
+        # decrement-and-reclaim on the same object (uncontended, the
+        # grant costs no simulated time).
+        locks = self.locks
+        grant = locks.acquire_write(cap.object)
+        try:
+            yield grant
+            number, _inode = yield from self._check(cap, 0)
+            self._note_lives_access(number)
+            self._lives[number] = self.testbed.bullet.max_lives
+            return self._lives[number]
+        finally:
+            locks.release(grant)
 
     def age_all(self):
         """Process: std_age — decrement every object's lives; reclaim
@@ -543,21 +573,26 @@ class BulletServer:
         yield self.env.timeout(self.testbed.cpu.request_dispatch)
         reclaimed = []
         for number, _inode in list(self.table.live_inodes()):
-            lives = self._lives.get(number, self.testbed.bullet.max_lives) - 1
-            self._lives[number] = lives
-            if lives <= 0:
-                reclaimed.append(number)
-        for number in reclaimed:
+            # Decrement *under* the object's write lock: the lives table
+            # is lock-guarded state, and folding the decrement into the
+            # reclaim grant closes the window where a concurrent touch
+            # could resurrect an object between the two passes without
+            # being seen (uncontended, the grant costs no sim time).
             grant = self.locks.acquire_write(number)
             try:
                 yield grant
-                # Revalidate under the lock: a concurrent delete may
-                # have beaten us, or a touch resurrected the object.
                 inode = self.table.get(number)
-                if inode.free or self._lives.get(number, 1) > 0:
+                if inode.free:
+                    continue  # a concurrent delete beat us to it
+                self._note_lives_access(number)
+                lives = self._lives.get(
+                    number, self.testbed.bullet.max_lives) - 1
+                self._lives[number] = lives
+                if lives > 0:
                     continue
                 yield from self._destroy(number, inode)
                 self._trace("bullet", "aged out", inode=number)
+                reclaimed.append(number)
             finally:
                 self.locks.release(grant)
         return reclaimed
@@ -574,7 +609,11 @@ class BulletServer:
         inode.index invariant). Benchmarks use this to measure cold
         reads."""
         self._require_booted()
-        self.cache.remove(inode_number)
+        # Admin/bench path, deliberately lock-free: it runs synchronously
+        # between measured phases, never inside the serve pool, and the
+        # cache itself refuses to drop a pinned rnode. Taking the write
+        # lock here would perturb the benchmark's lock metrics.
+        self.cache.remove(inode_number)  # repro: allow(L004)
         inode = self.table.get(inode_number)
         if not inode.free:
             inode.index = 0
@@ -668,6 +707,15 @@ class BulletServer:
 
     def _forget_caps(self, number: int) -> None:
         self._verified_caps.forget_object(number)
+
+    def _note_lives_access(self, number: int) -> None:
+        """Feed one ``_lives`` mutation to the runtime lockset checker
+        (no-op unless a checker is active — see repro.analysis.runtime).
+        Every caller writes, so the access is always recorded as one."""
+        checker = active_checker()
+        if checker is not None:
+            checker.on_access((f"{self.name}._lives", number), True,
+                              self.env.active_process, self.env.now)
 
     def _require_booted(self) -> None:
         if not self._booted:

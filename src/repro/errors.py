@@ -119,6 +119,19 @@ class ConsistencyError(ReproError):
     status = Status.INCONSISTENT
 
 
+class DeadlockError(ReproError):
+    """The per-file lock table found a waits-for cycle.
+
+    The requesting process can never be granted: every process in the
+    cycle is waiting (directly or through the FIFO queue) on a lock
+    held by the next one. Raised synchronously from the acquire call —
+    with the cycle spelled out — instead of letting the simulation
+    hang or die with an uninformative "no scheduled events".
+    """
+
+    status = Status.INCONSISTENT
+
+
 _STATUS_TO_ERROR: dict[Status, type[ReproError]] = {
     Status.CAP_BAD: CapabilityError,
     Status.NO_RIGHTS: RightsError,

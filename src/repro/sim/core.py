@@ -225,7 +225,7 @@ class Process(Event):
     ``try/except`` failures of sub-operations).
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_serial")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -233,7 +233,21 @@ class Process(Event):
         super().__init__(env)
         self._gen = generator
         self._waiting_on: Optional[Event] = None
+        env._proc_count += 1
+        self._serial = env._proc_count
         _Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        """Deterministic diagnostic name: the generator's qualname plus
+        a per-environment creation serial. Creation order is replay-
+        stable, so the same program names its processes identically on
+        every run — race and deadlock reports can quote them and still
+        compare byte-for-byte across runs."""
+        code = getattr(self._gen, "gi_code", None)
+        base = getattr(code, "co_qualname", None) or getattr(
+            code, "co_name", "process")
+        return f"{base}#{self._serial}"
 
     @property
     def is_alive(self) -> bool:
@@ -436,12 +450,13 @@ class Environment:
     """
 
     __slots__ = ("_now", "_heap", "_eid", "_active", "_solo", "_deadline",
-                 "fast")
+                 "_proc_count", "fast")
 
     def __init__(self, initial_time: float = 0.0, fast: Optional[bool] = None):
         self._now = float(initial_time)
         self._heap: list = []
         self._eid = 0
+        self._proc_count = 0
         self._active: Optional[Process] = None
         # True while no further callbacks of the event currently being
         # dispatched remain (see module docstring). True outside any

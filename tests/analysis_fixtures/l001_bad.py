@@ -1,0 +1,20 @@
+"""Fixture: L001 lock-leak — grants that never reliably reach release."""
+
+
+class Server:
+    def __init__(self, locks):
+        self.locks = locks
+
+    def discarded(self):
+        self.locks.acquire_write(7)
+
+    def happy_path_only(self, key):
+        grant = self.locks.acquire_write(key)
+        yield grant
+        self.mutate(key)
+        self.locks.release(grant)
+
+    def never_released(self, key):
+        grant = self.locks.acquire_read(key)
+        yield grant
+        return self.peek(key)

@@ -1,0 +1,23 @@
+"""Fixture: L001 near-misses — every grant is released or handed off."""
+
+
+class Server:
+    def __init__(self, locks):
+        self.locks = locks
+
+    def finally_release(self, key):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            self.mutate(key)
+        finally:
+            self.locks.release(grant)
+
+    def handoff(self, key):
+        grant = self.locks.acquire_write(key)
+        yield grant
+        self.settle(grant)
+
+    def returns_grant(self, key):
+        grant = self.locks.acquire_read(key)
+        return grant

@@ -1,0 +1,31 @@
+"""Fixture: L002 yield-under-lock — unbounded waits under a write grant."""
+
+
+class Server:
+    def __init__(self, locks):
+        self.locks = locks
+
+    def wait_caller(self, key, done):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            yield done
+        finally:
+            self.locks.release(grant)
+
+    def wait_mailbox(self, key, inbox):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            request = yield inbox.get()
+            self.handle(request)
+        finally:
+            self.locks.release(grant)
+
+    def park(self, key):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            yield
+        finally:
+            self.locks.release(grant)

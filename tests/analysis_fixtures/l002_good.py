@@ -1,0 +1,32 @@
+"""Fixture: L002 near-misses — timed work under the grant, unbounded
+waits only after release or under a read grant."""
+
+
+class Server:
+    def __init__(self, locks, env):
+        self.locks = locks
+        self.env = env
+
+    def timed_work(self, key, data):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            yield self.env.timeout(len(data))
+        finally:
+            self.locks.release(grant)
+
+    def wait_after_release(self, key, done):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+        finally:
+            self.locks.release(grant)
+        yield done
+
+    def read_held(self, key, done):
+        grant = self.locks.acquire_read(key)
+        try:
+            yield grant
+            yield done
+        finally:
+            self.locks.release(grant)

@@ -1,0 +1,31 @@
+"""Fixture: L003 — two functions nesting two tables in opposite orders."""
+
+
+class Server:
+    def __init__(self, alpha, beta):
+        self.alpha = alpha
+        self.beta = beta
+
+    def alpha_then_beta(self, key):
+        a = self.alpha.acquire_write(key)
+        try:
+            yield a
+            b = self.beta.acquire_write(key)
+            try:
+                yield b
+            finally:
+                self.beta.release(b)
+        finally:
+            self.alpha.release(a)
+
+    def beta_then_alpha(self, key):
+        b = self.beta.acquire_write(key)
+        try:
+            yield b
+            a = self.alpha.acquire_write(key)
+            try:
+                yield a
+            finally:
+                self.alpha.release(a)
+        finally:
+            self.beta.release(b)

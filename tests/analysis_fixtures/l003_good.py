@@ -1,0 +1,32 @@
+"""Fixture: L003 near-miss — nested acquires everywhere, but one
+consistent global order (alpha before beta), so the graph is acyclic."""
+
+
+class Server:
+    def __init__(self, alpha, beta):
+        self.alpha = alpha
+        self.beta = beta
+
+    def copy_extent(self, key):
+        a = self.alpha.acquire_write(key)
+        try:
+            yield a
+            b = self.beta.acquire_write(key)
+            try:
+                yield b
+            finally:
+                self.beta.release(b)
+        finally:
+            self.alpha.release(a)
+
+    def compare_extents(self, key):
+        a = self.alpha.acquire_read(key)
+        try:
+            yield a
+            b = self.beta.acquire_read(key)
+            try:
+                yield b
+            finally:
+                self.beta.release(b)
+        finally:
+            self.alpha.release(a)

@@ -1,0 +1,18 @@
+"""Fixture: L004 — a guarded field written without holding its lock."""
+
+
+class Store:
+    def __init__(self, locks):
+        self.locks = locks
+        self._sizes = {}  # repro: guarded_by(locks)
+
+    def locked_write(self, key, size):
+        grant = self.locks.acquire_write(key)
+        try:
+            yield grant
+            self._sizes[key] = size
+        finally:
+            self.locks.release(grant)
+
+    def unlocked_write(self, key, size):
+        self._sizes[key] = size

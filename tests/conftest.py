@@ -64,6 +64,26 @@ def make_bullet(env: Environment, n_disks: int = 2, testbed: Testbed = None,
     return server
 
 
+@pytest.fixture(autouse=True)
+def _runtime_lockset():
+    """Run every test under the Eraser-style lockset checker when
+    ``REPRO_LOCKSET=1`` (CI's workers=4 job exports it). A lockset
+    violation raises RaceReport inside the offending process, so a racy
+    access fails the test that provoked it. Off by default: the hooks
+    cost one ``is None`` test each, and benchmark artifacts stay
+    byte-identical."""
+    if os.environ.get("REPRO_LOCKSET") != "1":
+        yield
+        return
+    from repro.analysis.runtime import LocksetChecker, activate, deactivate
+
+    activate(LocksetChecker())
+    try:
+        yield
+    finally:
+        deactivate()
+
+
 @pytest.fixture
 def env():
     return Environment()

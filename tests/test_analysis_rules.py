@@ -16,7 +16,10 @@ from repro.errors import BadRequestError
 
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 
-ALL_RULES = ("D001", "D002", "D003", "S001", "C001", "C002", "A001")
+#: Every registered rule. P001 (stale-pragma) has no fixture pair: it
+#: only runs under --strict-pragmas and is covered separately below.
+ALL_RULES = ("D001", "D002", "D003", "S001", "C001", "C002", "A001",
+             "L001", "L002", "L003", "L004", "P001")
 
 #: rule -> (bad fixture, expected finding lines, good fixture)
 CASES = {
@@ -28,6 +31,10 @@ CASES = {
     "C001": ("c001_bad/core/server.py", [14], "c001_good/core/server.py"),
     "C002": ("c002_bad/core/server.py", [9, 17], "c002_good/core/server.py"),
     "A001": ("a001_bad.py", [5, 7], "a001_good.py"),
+    "L001": ("l001_bad.py", [9, 12, 18], "l001_good.py"),
+    "L002": ("l002_bad.py", [12, 20, 29], "l002_good.py"),
+    "L003": ("l003_bad.py", [13, 25], "l003_good.py"),
+    "L004": ("l004_bad.py", [18], "l004_good.py"),
 }
 
 
@@ -40,7 +47,7 @@ def test_registry_has_all_rules():
     assert len(all_rules()) == len(ALL_RULES)
 
 
-@pytest.mark.parametrize("rule", ALL_RULES)
+@pytest.mark.parametrize("rule", sorted(CASES))
 def test_bad_fixture_positive(rule):
     bad, lines, _good = CASES[rule]
     result = run(FIXTURES / bad)
@@ -52,7 +59,7 @@ def test_bad_fixture_positive(rule):
     assert result.exit_code == 1
 
 
-@pytest.mark.parametrize("rule", ALL_RULES)
+@pytest.mark.parametrize("rule", sorted(CASES))
 def test_good_fixture_negative(rule):
     _bad, _lines, good = CASES[rule]
     result = run(FIXTURES / good)
@@ -150,5 +157,71 @@ def test_findings_sorted_by_path_then_line():
     result = analyze_paths([str(FIXTURES)])
     keys = [(f.path, f.line, f.col, f.rule) for f in result.findings]
     assert keys == sorted(keys)
-    # The whole fixture tree has findings from every rule.
-    assert {f.rule for f in result.findings} == set(ALL_RULES)
+    # The whole fixture tree has findings from every fixture-backed rule
+    # (P001 stays silent without --strict-pragmas).
+    assert {f.rule for f in result.findings} == set(CASES)
+
+
+# --------------------------------------------------- strict pragma mode
+
+def test_strict_pragmas_flags_stale_pragma(tmp_path):
+    path = tmp_path / "stale.py"
+    path.write_text(
+        "def fine():\n"
+        "    return 1  # repro: allow(D001)\n"
+    )
+    result = analyze_paths([str(path)], strict_pragmas=True)
+    assert [(f.rule, f.line) for f in result.findings] == [("P001", 2)]
+    assert "allow(D001)" in result.findings[0].message
+
+
+def test_strict_pragmas_keeps_used_pragma(tmp_path):
+    path = tmp_path / "used.py"
+    path.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # repro: allow(D001)\n"
+    )
+    assert analyze_paths([str(path)], strict_pragmas=True).clean
+
+
+def test_strict_pragmas_ignores_docstring_mentions(tmp_path):
+    path = tmp_path / "doc.py"
+    path.write_text(
+        '"""Suppress with ``# repro: allow(D001)`` on the line."""\n'
+        "\n"
+        "def fine():\n"
+        "    return 1\n"
+    )
+    assert analyze_paths([str(path)], strict_pragmas=True).clean
+
+
+# ------------------------------------------- mutation check (serve path)
+
+def test_deleting_a_release_in_a_serve_path_is_flagged(tmp_path):
+    """Mutation-style guard: take the real server source, delete the
+    release in TOUCH's finally, and L001 must fire — proof the rule
+    watches the actual serve paths, not just synthetic fixtures."""
+    source = (Path(__file__).resolve().parents[1]
+              / "src" / "repro" / "core" / "server.py").read_text()
+    intact = tmp_path / "server_intact.py"
+    intact.write_text(source)
+    assert analyze_paths([str(intact)], Config(select=("L001",))).clean
+
+    needle = (
+        "            return self._lives[number]\n"
+        "        finally:\n"
+        "            locks.release(grant)\n"
+    )
+    assert needle in source, "touch() no longer matches the mutation target"
+    mutated = tmp_path / "server_mutated.py"
+    mutated.write_text(source.replace(
+        needle,
+        "            return self._lives[number]\n"
+        "        finally:\n"
+        "            pass\n",
+    ))
+    result = analyze_paths([str(mutated)], Config(select=("L001",)))
+    assert [f.rule for f in result.findings] == ["L001"]
+    assert "never released" in result.findings[0].message

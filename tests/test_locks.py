@@ -169,6 +169,53 @@ def test_release_is_idempotent_and_strict(env, table):
     run_process(env, bogus())
 
 
+def test_batch_readers_admitted_after_queued_writer_crashes(env):
+    """Readers queued behind a writer that crashes *while queued* are
+    admitted as one batch when the holder releases — the dead writer
+    must not leave a ghost at the head of the FIFO — and the metrics
+    stay consistent: the writer's acquisition is never counted."""
+    registry = MetricsRegistry()
+    table = FileLockTable(env, metrics=registry, owner="bullet")
+    log = []
+
+    def noted(delay, name, mode, work):
+        yield env.timeout(delay)
+        yield from hold(env, table, log, name, 5, mode, work)
+
+    env.process(noted(0.0, "holder", "read", 5.0))
+    writer = env.process(noted(0.5, "w", "write", 1.0))
+    r1 = env.process(noted(1.0, "r1", "read", 1.0))
+    r2 = env.process(noted(1.5, "r2", "read", 1.0))
+
+    def crash_queued_writer():
+        yield env.timeout(2.0)
+        writer.interrupt("client crash")
+
+    env.process(crash_queued_writer())
+    with pytest.raises(Interrupt):
+        env.run(until=writer)
+    env.run(until=r1)
+    env.run(until=r2)
+    env.run()
+    starts = [(name, t) for kind, name, t in log if kind == "acquired"]
+    # The instant the queued writer is cancelled (t=2.0) the read batch
+    # can share with the still-reading holder: both readers start
+    # together, well before the holder releases at t=5.
+    assert starts == [("holder", 0.0), ("r1", 2.0), ("r2", 2.0)]
+    # 3 admitted read grants, 0 writes; 3 contended arrivals (w, r1, r2).
+    assert registry.value("repro_lock_acquisitions_total",
+                          server="bullet", mode="read") == 3
+    assert registry.value("repro_lock_acquisitions_total",
+                          server="bullet", mode="write") == 0
+    assert registry.value("repro_lock_contention_total", server="bullet") == 3
+    # The cancelled writer never reached admission, so only the three
+    # admitted grants observed a wait (0 + 1.0 + 0.5 seconds of queueing).
+    waits = registry.find("repro_lock_wait_seconds", server="bullet")
+    assert waits.count == 3 and waits.total == pytest.approx(1.5)
+    assert registry.value("repro_lock_held", server="bullet") == 0
+    assert table.held_keys() == [] and table.waiters(5) == 0
+
+
 def test_lock_metrics_account_waits_and_contention(env):
     registry = MetricsRegistry()
     table = FileLockTable(env, metrics=registry, owner="bullet")
