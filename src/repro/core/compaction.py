@@ -178,8 +178,10 @@ def _copy_flip(server: BulletServer, number: int, inode, src: int,
         # Copy: the relocated extent becomes durable on every live
         # replica while the old extent and the on-disk inode still
         # describe the old location — an abort here loses nothing.
-        yield AllOf(env, [disk.write(dst, data)
-                          for disk in server.mirror.live_disks])
+        writes = [disk.write(dst, data)
+                  for disk in server.mirror.live_disks]
+        server.mirror.resync_note(dst, len(data), writes)
+        yield AllOf(env, writes)
     except ReproError:
         server.disk_free.free(dst, blocks)
         raise

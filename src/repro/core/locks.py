@@ -129,6 +129,75 @@ class FileLockTable:
         lock = self._locks.get(key)
         return len(lock.queue) if lock is not None else 0
 
+    def check_invariants(self) -> None:
+        """Structural safety of the whole table; raises
+        :class:`ConsistencyError` on the first violation.
+
+        Checked (the model checker calls this at every explored state;
+        tests call it directly):
+
+        * no key has both readers and a writer, and no key holds two
+          writers (the type makes the latter unrepresentable, but a
+          released grant lingering as holder is not);
+        * no *released* grant is still held or queued;
+        * mode tags are well-formed and every grant is filed under its
+          own key;
+        * idle locks were reaped (``release`` drops empty entries);
+        * ``_held_count`` matches the actual number of held keys;
+        * every queued grant with an owner has a waits-for entry, and
+          the waits-for graph over queued owners is acyclic (grants are
+          admitted in FIFO order, so a cycle would wait forever).
+        """
+        held = 0
+        for key, lock in self._locks.items():
+            if lock.idle:
+                raise ConsistencyError(
+                    f"lock table retains idle entry for inode {key}")
+            if lock.readers and lock.writer is not None:
+                raise ConsistencyError(
+                    f"inode {key} has {len(lock.readers)} reader(s) and a "
+                    f"writer held simultaneously")
+            if lock.readers or lock.writer is not None:
+                held += 1
+            holders: List[LockGrant] = list(lock.readers)
+            if lock.writer is not None:
+                holders.append(lock.writer)
+            for grant in holders:
+                if grant.released:
+                    raise ConsistencyError(
+                        f"released grant still held on inode {key}")
+            for reader in lock.readers:
+                if reader.mode != READ:
+                    raise ConsistencyError(
+                        f"non-read grant {reader.mode!r} among readers of "
+                        f"inode {key}")
+            if lock.writer is not None and lock.writer.mode != WRITE:
+                raise ConsistencyError(
+                    f"non-write grant {lock.writer.mode!r} holds the writer "
+                    f"slot of inode {key}")
+            for grant in list(lock.queue) + holders:
+                if grant.key != key:
+                    raise ConsistencyError(
+                        f"grant for inode {grant.key} filed under inode {key}")
+            for queued in lock.queue:
+                if queued.released:
+                    raise ConsistencyError(
+                        f"released grant still queued on inode {key}")
+                if queued.owner is not None and (
+                        self._waiting.get(queued.owner) is not queued):
+                    raise ConsistencyError(
+                        f"queued grant on inode {key} missing from the "
+                        f"waits-for map")
+        if held != self._held_count:
+            raise ConsistencyError(
+                f"held-key count drifted: tracked {self._held_count}, "
+                f"actual {held}")
+        for proc in sorted(self._waiting, key=lambda p: p._serial):
+            cycle = self._find_cycle(proc)
+            if cycle is not None:
+                raise ConsistencyError(
+                    "waits-for graph has a cycle: " + _render_cycle(cycle))
+
     # ------------------------------------------------------------ acquire
 
     def acquire_read(self, key: int) -> LockGrant:

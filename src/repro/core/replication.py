@@ -83,6 +83,12 @@ def replicated_file_write(env: Environment, mirror: MirroredDiskSet,
                                        inode_block, inode_block_bytes))
         for disk in mirror.live_disks
     ]
+    # These writes bypass mirror.write(), so an in-flight recovery copy
+    # must be told about them or it can clobber the rebuilt replica's
+    # copy with a stale snapshot (the model checker's repair-race bug).
+    if data and data_block is not None:
+        mirror.resync_note(data_block, len(data), writes)
+    mirror.resync_note(inode_block, len(inode_block_bytes), writes)
     durable = CountOf(env, writes, need=min(p_factor, len(writes)))
     return ReplicatedWrite(durable=durable, writes=writes)
 

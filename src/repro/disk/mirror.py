@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..errors import ConsistencyError, DiskIOError, ServerDownError
-from ..sim import CountOf, Environment, Event, Tracer
+from ..sim import CountOf, Environment, Event, Interrupt, Tracer
 from .vdisk import VirtualDisk
 
 __all__ = ["MirroredDiskSet"]
@@ -33,6 +33,11 @@ class MirroredDiskSet:
         self.env = env
         self.disks = list(disks)
         self._tracer = tracer
+        # While a recovery copy is streaming, every mirrored write is
+        # also logged here as (start_block, nblocks, write events) so
+        # the recovery can re-copy extents the streaming pass may have
+        # clobbered with a stale snapshot. None = no recovery active.
+        self._resync_dirty: Optional[list] = None
 
     # ------------------------------------------------------------- state
 
@@ -124,7 +129,21 @@ class MirroredDiskSet:
             need = len(live)
         need = min(need, len(live))
         writes = [disk.write(start_block, data) for disk in live]
+        self.resync_note(start_block, len(data), writes)
         return CountOf(self.env, writes, need=need)
+
+    def resync_note(self, start_block: int, nbytes: int,
+                    events: Sequence[Event]) -> None:
+        """Log a replica write so an active recovery re-copies its
+        extent (no-op when no recovery is streaming). :meth:`write`
+        logs itself; callers that write the replicas *directly* — the
+        replicated CREATE path, compaction's extent copy — must call
+        this with events that complete no earlier than the underlying
+        disk writes (the per-disk write events, or the processes that
+        issued them)."""
+        if self._resync_dirty is not None and nbytes > 0:
+            nblocks = -(-nbytes // self.block_size)
+            self._resync_dirty.append((start_block, nblocks, list(events)))
 
     # --------------------------------------------------------- raw plane
 
@@ -147,19 +166,49 @@ class MirroredDiskSet:
         The paper: "Recovery is simply done by copying the complete
         disk." The copy streams in large extents so it runs at media
         rate rather than per-block cost.
+
+        Recovery is *online*: ``repair()`` makes the target live
+        immediately, so concurrent mirrored writes forward to it while
+        the copy streams. Each chunk is a stale snapshot of the source
+        taken one arm-rotation before it lands on the target, so a
+        forwarded write can be clobbered by the copy (found by the
+        model checker: a CREATE racing a recovery lost its inode-table
+        update on the rebuilt disk, and a crash+restart then booted
+        from the stale table). Every mirrored write issued while the
+        copy is active is therefore logged, and after the streaming
+        pass those extents are re-copied — waiting for the logged
+        write to land first, so the re-read is fresh — until a round
+        completes with no new writes.
         """
         source = self.primary
         if target is source:
             raise ValueError("cannot recover a disk from itself")
+        if self._resync_dirty is not None:
+            raise ConsistencyError("a recovery is already in progress")
         target.repair()
         total = min(source.total_blocks, target.total_blocks)
         extent = 2048  # blocks per copy chunk (1 MB at 512-byte blocks)
-        copied = 0
-        while copied < total:
-            n = min(extent, total - copied)
-            data = yield source.read(copied, n)
-            yield target.write(copied, data)
-            copied += n
+        self._resync_dirty = []
+        try:
+            copied = 0
+            while copied < total:
+                n = min(extent, total - copied)
+                data = yield source.read(copied, n)
+                yield target.write(copied, data)
+                copied += n
+            while self._resync_dirty:
+                dirty, self._resync_dirty = self._resync_dirty, []
+                for start, nblocks, writes in dirty:
+                    for event in writes:
+                        if not event.triggered:
+                            try:
+                                yield event
+                            except (DiskIOError, Interrupt, ServerDownError):
+                                pass  # replica died / writer was killed
+                    data = yield source.read(start, nblocks)
+                    yield target.write(start, data)
+        finally:
+            self._resync_dirty = None
         if target not in self.disks:
             self.disks.append(target)
         self._trace("mirror", f"recovery onto {target.name} complete",

@@ -1,0 +1,49 @@
+"""Small-scope exhaustive model checking of the Bullet rig.
+
+``python -m repro.modelcheck`` explores every interleaving of K
+scripted clients, server crash/restart, replica loss/repair, and
+compaction over the *real* stack (RPC transport, worker pool,
+FileLockTable, replication, failover), checking three invariant
+families at every state: durability (``AllFilesOnline``), lock-plane
+safety, and linearizability against the shared :class:`RefModel`
+oracle. See DESIGN.md §12.
+"""
+
+from .explorer import Counterexample, Explorer, ExploreStats
+from .refmodel import RefDirectory, RefModel
+from .rig import (
+    CheckRig,
+    InvariantViolation,
+    Scope,
+    TransitionRecord,
+    check_scope,
+)
+from .trace import (
+    TRACE_FORMAT,
+    assert_trace_still_fails,
+    load_trace,
+    replay_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "Counterexample",
+    "Explorer",
+    "ExploreStats",
+    "RefDirectory",
+    "RefModel",
+    "CheckRig",
+    "InvariantViolation",
+    "Scope",
+    "TransitionRecord",
+    "check_scope",
+    "TRACE_FORMAT",
+    "assert_trace_still_fails",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+]

@@ -1,0 +1,94 @@
+"""Counterexample traces: a replayable (scope, schedule) record.
+
+Format ``repro.modelcheck/1`` — a JSON object carrying the full scope
+(so the rig rebuilds identically), the transition labels in order, and
+the kernel tie choices each transition took. Everything else in the
+system is deterministic, so this is sufficient to reproduce the run
+bit-for-bit; the committed regression traces under
+``tests/modelcheck_traces/`` are exactly these files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConsistencyError
+from .explorer import Counterexample, Explorer
+from .rig import InvariantViolation, Scope, TransitionRecord
+
+__all__ = ["TRACE_FORMAT", "trace_to_dict", "trace_from_dict", "save_trace",
+           "load_trace", "replay_trace", "assert_trace_still_fails"]
+
+TRACE_FORMAT = "repro.modelcheck/1"
+
+
+def trace_to_dict(scope: Scope, counterexample: Counterexample,
+                  seed: int = 0, mode: str = "dfs") -> Dict[str, Any]:
+    return {
+        "format": TRACE_FORMAT,
+        "scope": scope.to_dict(),
+        "seed": seed,
+        "mode": mode,
+        "violation": {
+            "family": counterexample.family,
+            "message": counterexample.message,
+        },
+        "shrunk_from": counterexample.shrunk_from,
+        "trace": [
+            {"label": rec.label, "ties": list(rec.ties)}
+            for rec in counterexample.records
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]
+                    ) -> tuple[Scope, List[TransitionRecord]]:
+    if data.get("format") != TRACE_FORMAT:
+        raise ValueError(
+            f"not a {TRACE_FORMAT} trace: format={data.get('format')!r}")
+    scope = Scope.from_dict(data["scope"])
+    records = [
+        TransitionRecord(entry["label"], tuple(entry.get("ties", ())))
+        for entry in data["trace"]
+    ]
+    return scope, records
+
+
+def save_trace(path: str, scope: Scope, counterexample: Counterexample,
+               seed: int = 0, mode: str = "dfs") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_to_dict(scope, counterexample, seed=seed, mode=mode),
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def replay_trace(data: Dict[str, Any]) -> Optional[InvariantViolation]:
+    """Re-run a recorded trace on a fresh rig; returns the violation it
+    reproduces, or None if the trace now passes (i.e. the bug it
+    witnessed is fixed — or regressed into hiding)."""
+    scope, records = trace_from_dict(data)
+    return Explorer(scope).replay_fails(records)
+
+
+def assert_trace_still_fails(path: str) -> InvariantViolation:
+    """The pytest regression helper: replay the committed trace and
+    assert it still demonstrates a violation of the recorded family.
+    (Used inverted: run it against a rig with the bug *fixed* and the
+    assertion documents that the trace no longer fires.)"""
+    data = load_trace(path)
+    violation = replay_trace(data)
+    expected = data["violation"]["family"]
+    if violation is None:
+        raise ConsistencyError(
+            f"trace {path} no longer reproduces its {expected!r} violation")
+    if violation.family != expected:
+        raise ConsistencyError(
+            f"trace {path} now fails with family {violation.family!r}, "
+            f"recorded {expected!r}: {violation.message}")
+    return violation

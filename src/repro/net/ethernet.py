@@ -228,10 +228,21 @@ class Ethernet:
             # Host-side packet preparation: does not occupy the medium.
             yield env.timeout(overhead)
             grant = self._medium.request()
-            yield grant
-            wire = wire_last if last else wire_full
-            yield env.timeout(wire)
-            self._medium.release(grant)
+            # Crash-safe: a sender interrupted mid-transmission (a
+            # crashing server's worker killed while its reply is on the
+            # wire) must not keep the shared medium forever — every
+            # later sender would queue behind a grant nobody releases
+            # and the whole system would wedge. Found by the model
+            # checker (repro.modelcheck) as a scheduler deadlock.
+            try:
+                yield grant
+                wire = wire_last if last else wire_full
+                yield env.timeout(wire)
+            finally:
+                if grant.triggered:
+                    self._medium.release(grant)
+                else:
+                    self._medium.cancel(grant)
             if self._fault_extra_latency > 0:
                 # Injected latency spike: charged outside the medium so
                 # other hosts still interleave.

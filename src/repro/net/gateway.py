@@ -47,10 +47,18 @@ class WideAreaLink:
         lands at the far end."""
         line = self._directions[direction & 1]
         grant = line.request()
-        yield grant
-        serialization = (nbytes * 8) / self.profile.bandwidth_bits
-        yield self.env.timeout(self.profile.per_packet_overhead + serialization)
-        line.release(grant)
+        # Crash-safe like the Ethernet medium: an interrupted transfer
+        # must release (or withdraw) its claim on the line.
+        try:
+            yield grant
+            serialization = (nbytes * 8) / self.profile.bandwidth_bits
+            yield self.env.timeout(
+                self.profile.per_packet_overhead + serialization)
+        finally:
+            if grant.triggered:
+                line.release(grant)
+            else:
+                line.cancel(grant)
         # Propagation happens after the line is free for the next packet.
         yield self.env.timeout(self.profile.propagation_delay)
         self.bytes_carried += nbytes

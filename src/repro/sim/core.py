@@ -450,7 +450,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_heap", "_eid", "_active", "_solo", "_deadline",
-                 "_proc_count", "fast")
+                 "_proc_count", "fast", "_tie_hook")
 
     def __init__(self, initial_time: float = 0.0, fast: Optional[bool] = None):
         self._now = float(initial_time)
@@ -470,6 +470,12 @@ class Environment:
         # finite window instead of looping forever.
         self._deadline = float("inf")
         self.fast = FAST_PATHS_DEFAULT if fast is None else bool(fast)
+        # Scheduling choice-point hook (model checking): consulted when
+        # two or more heap entries tie on (time, priority). None — the
+        # overwhelmingly common case — keeps the reference tie-break
+        # (insertion order) and costs nothing on the hot dispatch loops,
+        # which delegate to _run_hooked only when a hook is installed.
+        self._tie_hook: Optional[Callable[[list], int]] = None
         if _env_created_hook is not None:
             _env_created_hook(self)
 
@@ -600,6 +606,98 @@ class Environment:
             return True
         return False
 
+    def set_tie_hook(self, hook: Optional[Callable[[list], int]]) -> None:
+        """Install (or clear, with None) the scheduling choice-point
+        hook.
+
+        When set, every dispatch that finds two or more heap entries
+        tied on ``(time, priority)`` calls ``hook(entries)`` with the
+        tied ``(when, priority, eid, event)`` tuples in insertion order
+        (ascending eid) and dispatches the entry at the returned index;
+        the rest go back on the heap. Index 0 therefore reproduces the
+        reference schedule exactly. The model checker drives this to
+        enumerate or randomize event orderings that the deterministic
+        kernel would otherwise never exhibit. Installing a hook routes
+        ``run``/``step`` through a generic (slower) dispatch loop; with
+        the hook cleared the inlined hot loops are untouched.
+        """
+        self._tie_hook = hook
+
+    def _pop_tied(self) -> tuple:
+        """Pop the next entry, consulting the tie hook when the head of
+        the heap is not unique in ``(time, priority)``."""
+        heap = self._heap
+        first = heappop(heap)
+        if not heap or heap[0][0] != first[0] or heap[0][1] != first[1]:
+            return first
+        tied = [first]
+        while heap and heap[0][0] == first[0] and heap[0][1] == first[1]:
+            tied.append(heappop(heap))
+        hook = self._tie_hook
+        index = 0 if hook is None else hook(tied)
+        if not 0 <= index < len(tied):
+            raise ConsistencyError(
+                f"tie hook chose {index} of {len(tied)} candidates")
+        chosen = tied.pop(index)
+        for entry in tied:
+            heappush(heap, entry)
+        return chosen
+
+    def _dispatch(self, entry: tuple) -> None:
+        """Reference dispatch of one popped heap entry (the body the
+        ``run`` loops inline), used by the hooked run path."""
+        when, _priority, _eid, event = entry
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if len(callbacks) == 1:
+            callbacks[0](event)
+        else:
+            self._solo = False
+            for callback in callbacks:
+                callback(event)
+            self._solo = True
+        if not event._ok and not event._defused:
+            self._solo = True
+            raise event._value
+
+    def _run_hooked(self, until: Any) -> Any:
+        """The ``run`` loop with tie-hook-aware pops. Functionally
+        identical to :meth:`run` (which delegates here whenever a hook
+        is installed) except that tied heap entries are resolved through
+        the hook instead of insertion order."""
+        heap = self._heap
+        if until is None:
+            while heap:
+                self._dispatch(self._pop_tied())
+            self._solo = True
+            return None
+        if isinstance(until, Event):
+            while until.callbacks is not None:
+                if not heap:
+                    raise RuntimeError(
+                        "deadlock: event will never fire (no scheduled events)"
+                    )
+                self._dispatch(self._pop_tied())
+            self._solo = True
+            if until._ok:
+                return until._value
+            until._defused = True
+            raise until._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(
+                f"until={deadline} is in the past (now={self._now})")
+        self._deadline = deadline
+        try:
+            while heap and heap[0][0] <= deadline:
+                self._dispatch(self._pop_tied())
+        finally:
+            self._deadline = float("inf")
+        self._solo = True
+        self._now = deadline
+        return None
+
     def peek(self) -> float:
         """The earliest instant anything can next observe the world: the
         next scheduled event, capped at the running ``until`` deadline
@@ -613,7 +711,10 @@ class Environment:
         """Process exactly one event."""
         if not self._heap:
             raise RuntimeError("no scheduled events")
-        when, _priority, _eid, event = heappop(self._heap)
+        if self._tie_hook is None:
+            when, _priority, _eid, event = heappop(self._heap)
+        else:
+            when, _priority, _eid, event = self._pop_tied()
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -639,6 +740,8 @@ class Environment:
         single hottest path in the whole system, so it pays to keep it
         free of method-call and property overhead.
         """
+        if self._tie_hook is not None:
+            return self._run_hooked(until)
         heap = self._heap
         if until is None:
             while heap:

@@ -42,6 +42,23 @@ def small_testbed(disk: DiskProfile = None, **bullet_overrides) -> Testbed:
     return Testbed(disk=disk or SMALL_DISK, bullet=bullet)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--explore", action="store_true", default=False,
+        help="run tests marked 'explore' (budgeted deep model-checking "
+             "scopes, minutes not seconds); REPRO_EXPLORE=1 does the same")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--explore") or os.environ.get("REPRO_EXPLORE") == "1":
+        return
+    skip = pytest.mark.skip(
+        reason="deep exploration scope: pass --explore (or REPRO_EXPLORE=1)")
+    for item in items:
+        if "explore" in item.keywords:
+            item.add_marker(skip)
+
+
 #: CI's concurrency job sets REPRO_TEST_WORKERS=4 to re-run the whole
 #: tier-1 suite against a worker pool; tests that specifically assert
 #: single-threaded semantics pass workers=1 explicitly.

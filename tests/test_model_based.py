@@ -1,11 +1,11 @@
 """Model-based testing of the Bullet server.
 
 Hypothesis drives random CREATE/READ/DELETE/MODIFY sequences against a
-real server while a trivial reference model (a dict of capability ->
-bytes) tracks intended state. After every operation the server's
-internal invariants must hold; at the end, the server is rebooted from
-its disks and must agree with the model exactly (for files written with
-P-FACTOR >= 1).
+real server while :class:`repro.modelcheck.RefModel` — the same oracle
+the exhaustive model checker uses — tracks intended state. After every
+operation the server's internal invariants must hold; at the end, the
+server is rebooted from its disks and must agree with the oracle
+exactly (for files written with P-FACTOR >= 1).
 """
 
 import pytest
@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.core import BulletServer
 from repro.errors import NoSpaceError, NotFoundError, ReproError
-from repro.capability import Capability
+from repro.modelcheck import RefModel
 from repro.sim import Environment, run_process
 from repro.units import KB
 
@@ -70,15 +70,11 @@ def check_invariants(bullet):
 def test_bullet_server_matches_reference_model(script):
     env = Environment()
     bullet = make_bullet(env)
-    model: dict = {}  # Capability -> bytes
+    model = RefModel()
     content_counter = 0
 
-    def pick(step):
-        caps = sorted(model, key=lambda c: c.object)
-        return caps[step.target % len(caps)] if caps else None
-
     for step in script:
-        cap = pick(step)
+        cap = model.pick(step.target)
         if step.kind == "create":
             content_counter += 1
             payload = (content_counter.to_bytes(4, "big") * (step.size // 4 + 1))[: step.size]
@@ -87,32 +83,33 @@ def test_bullet_server_matches_reference_model(script):
             except NoSpaceError:
                 continue
             assert new_cap not in model
-            model[new_cap] = payload
+            model.create(new_cap, payload)
         elif step.kind == "read":
             if cap is None:
                 continue
-            assert run_process(env, bullet.read(cap)) == model[cap]
+            assert run_process(env, bullet.read(cap)) == model.data(cap)
         elif step.kind == "delete":
             if cap is None:
                 continue
             run_process(env, bullet.delete(cap))
-            del model[cap]
+            model.delete(cap)
             with pytest.raises((NotFoundError, ReproError)):
                 run_process(env, bullet.read(cap))
         elif step.kind == "modify":
             if cap is None:
                 continue
-            old = model[cap]
-            offset = step.offset % (len(old) + 1)
-            delete_bytes = min(step.delete_bytes, len(old) - offset)
+            old = model.data(cap)
+            offset, delete_bytes = RefModel.clamp_modify(
+                len(old), step.offset, step.delete_bytes)
             insert = b"MOD" * 5
             try:
                 new_cap = run_process(env, bullet.modify(
                     cap, offset, delete_bytes, insert, 2))
             except NoSpaceError:
                 continue
-            model[new_cap] = old[:offset] + insert + old[offset + delete_bytes:]
-            assert model[cap] == old  # immutability of the source
+            model.create(new_cap,
+                         RefModel.spliced(old, offset, delete_bytes, insert))
+            assert model.data(cap) == old  # immutability of the source
         elif step.kind == "evict" and cap is not None:
             bullet.evict(cap.object)
         check_invariants(bullet)
@@ -145,25 +142,24 @@ def test_bullet_server_survives_random_crash_restart(script):
     """Crash/restart as a first-class transition: at any point the
     server may lose all volatile state and reboot from its disks. After
     every restart the scan-on-startup invariants must hold and the
-    durable contents must match the model exactly (all files written
+    durable contents must match the oracle exactly (all files written
     with P-FACTOR 2, so the reply implied durability on both disks)."""
     env = Environment()
     bullet = make_bullet(env)
-    model: dict = {}  # Capability -> bytes
+    model = RefModel()
     content_counter = 0
 
-    def pick(step):
-        caps = sorted(model, key=lambda c: c.object)
-        return caps[step.target % len(caps)] if caps else None
-
     for step in script:
-        cap = pick(step)
+        cap = model.pick(step.target)
         if step.kind == "crash":
             bullet.crash()
             reborn = BulletServer(env, bullet.mirror, bullet.testbed,
                                   name="bullet")
             report = env.run(until=env.process(reborn.boot()))
-            # Scan-on-startup invariants after this crash point:
+            # Scan-on-startup invariants after this crash point. Every
+            # write here completed with P-FACTOR 2, so the oracle has no
+            # uncertain files and the live count must match exactly.
+            assert not model.has_uncertain()
             assert report.live_files == len(model)
             assert not report.quarantined
             check_invariants(reborn)
@@ -181,31 +177,32 @@ def test_bullet_server_survives_random_crash_restart(script):
                 new_cap = run_process(env, bullet.create(payload, 2))
             except NoSpaceError:
                 continue
-            model[new_cap] = payload
+            model.create(new_cap, payload)
         elif step.kind == "read":
             if cap is None:
                 continue
-            assert run_process(env, bullet.read(cap)) == model[cap]
+            assert run_process(env, bullet.read(cap)) == model.data(cap)
         elif step.kind == "delete":
             if cap is None:
                 continue
             run_process(env, bullet.delete(cap))
-            del model[cap]
+            model.delete(cap)
         elif step.kind == "modify":
             if cap is None:
                 continue
-            old = model[cap]
-            offset = step.offset % (len(old) + 1)
-            delete_bytes = min(step.delete_bytes, len(old) - offset)
+            old = model.data(cap)
+            offset, delete_bytes = RefModel.clamp_modify(
+                len(old), step.offset, step.delete_bytes)
             try:
                 new_cap = run_process(env, bullet.modify(
                     cap, offset, delete_bytes, b"CRASHMOD", 2))
             except NoSpaceError:
                 continue
-            model[new_cap] = old[:offset] + b"CRASHMOD" + old[offset + delete_bytes:]
+            model.create(new_cap, RefModel.spliced(
+                old, offset, delete_bytes, b"CRASHMOD"))
         check_invariants(bullet)
 
-    # Final incarnation still agrees with the model.
+    # Final incarnation still agrees with the oracle.
     for cap, expected in model.items():
         assert run_process(env, bullet.read(cap)) == expected
     check_invariants(bullet)

@@ -9,6 +9,7 @@ from repro.client import LocalBulletStub
 from repro.directory import DirectoryServer
 from repro.disk import VirtualDisk
 from repro.errors import ExistsError, NoSpaceError, NotFoundError
+from repro.modelcheck import RefDirectory
 from repro.nfs import FFS, BufferCache, MODE_FILE
 from repro.sim import Environment, run_process
 from repro.units import KB
@@ -43,41 +44,42 @@ def test_directory_matches_dict_model(script):
     root = run_process(env, dirs.create_directory())
     files = [run_process(env, bullet.create(f"f{i}".encode(), 1))
              for i in range(6)]
-    model: dict = {}
+    model = RefDirectory()
 
     for op, name_index, file_index in script:
         name = f"n{name_index}"
         cap = files[file_index]
         if op == "append":
-            if name in model:
+            if not model.append(name, cap):
                 with pytest.raises(ExistsError):
                     run_process(env, dirs.append(root, name, cap))
             else:
                 run_process(env, dirs.append(root, name, cap))
-                model[name] = cap
         elif op == "replace":
-            if name in model:
+            displaced = model.replace(name, cap)
+            if displaced is not None:
                 old = run_process(env, dirs.replace(root, name, cap))
-                assert old == model[name]
-                model[name] = cap
+                assert old == displaced
             else:
                 with pytest.raises(NotFoundError):
                     run_process(env, dirs.replace(root, name, cap))
         elif op == "remove":
-            if name in model:
+            removed_cap = model.remove(name)
+            if removed_cap is not None:
                 removed = run_process(env, dirs.remove_entry(root, name))
-                assert removed == model.pop(name)
+                assert removed == removed_cap
             else:
                 with pytest.raises(NotFoundError):
                     run_process(env, dirs.remove_entry(root, name))
         elif op == "lookup":
-            if name in model:
-                assert run_process(env, dirs.lookup(root, name)) == model[name]
+            expected = model.lookup(name)
+            if expected is not None:
+                assert run_process(env, dirs.lookup(root, name)) == expected
             else:
                 with pytest.raises(NotFoundError):
                     run_process(env, dirs.lookup(root, name))
         else:
-            assert run_process(env, dirs.list_names(root)) == sorted(model)
+            assert run_process(env, dirs.list_names(root)) == model.names()
 
     # Reboot the directory server: the model must survive exactly.
     dirs.crash()
@@ -85,9 +87,9 @@ def test_directory_matches_dict_model(script):
                              small_testbed(), name="directory",
                              max_directories=8)
     env.run(until=env.process(reborn.boot()))
-    assert run_process(env, reborn.list_names(root)) == sorted(model)
-    for name, cap in model.items():
-        assert run_process(env, reborn.lookup(root, name)) == cap
+    assert run_process(env, reborn.list_names(root)) == model.names()
+    for name in model.names():
+        assert run_process(env, reborn.lookup(root, name)) == model.lookup(name)
 
 
 # -------------------------------------------------------------------- FFS
