@@ -39,6 +39,7 @@ from .capability import (
     RIGHT_DELETE,
     RIGHT_MODIFY,
     RIGHT_READ,
+    local_verifier,
     mint_owner,
     port_for_name,
     restrict,
@@ -50,6 +51,7 @@ from .client import (
     DirectoryClient,
     LocalBulletStub,
     ReplicaSetClient,
+    WorkstationCache,
     replicate_file,
 )
 from .core import (
@@ -122,11 +124,11 @@ __all__ = [
     # capability
     "ALL_RIGHTS", "Capability", "NULL_CAPABILITY", "RIGHT_ADMIN",
     "RIGHT_CREATE", "RIGHT_DELETE", "RIGHT_MODIFY", "RIGHT_READ",
-    "mint_owner", "port_for_name", "restrict", "verify",
+    "local_verifier", "mint_owner", "port_for_name", "restrict", "verify",
     # clients
     "BulletClient", "CachingBulletClient", "DirectoryClient",
     "LocalBulletStub", "ReplicaSetClient", "Retrier", "RetryPolicy",
-    "replicate_file",
+    "WorkstationCache", "replicate_file",
     # core
     "BulletCache", "BulletServer", "ExtentFreeList", "Inode", "InodeTable",
     "ScanReport", "VolumeLayout", "compact_disk", "nightly_compaction",

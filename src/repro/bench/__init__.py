@@ -5,6 +5,7 @@ from .harness import (
     PAPER_SIZES,
     Rig,
     bullet_figure2,
+    client_cache_scaling,
     cold_read_disciplines,
     make_rig,
     nfs_figure3,
@@ -23,6 +24,7 @@ __all__ = [
     "nfs_figure3",
     "throughput_vs_clients",
     "throughput_vs_workers",
+    "client_cache_scaling",
     "cold_read_disciplines",
     "timed",
     "MeasurementTable",

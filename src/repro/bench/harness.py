@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..client import BulletClient
+from ..capability import RIGHT_READ
+from ..client import BulletClient, CachingBulletClient, WorkstationCache
 from ..core import BulletServer
 from ..disk import MirroredDiskSet, VirtualDisk
 from ..errors import BadRequestError, ConsistencyError
@@ -40,6 +41,7 @@ __all__ = [
     "throughput_vs_clients",
     "throughput_vs_workers",
     "cold_read_disciplines",
+    "client_cache_scaling",
     "PAPER_SIZES",
 ]
 
@@ -299,6 +301,85 @@ def throughput_vs_workers(worker_counts=(1, 2, 4), n_clients: int = 8,
             env.process(client_loop(index))  # repro: allow(S001)
         env.run(until=start + duration)
         results[workers] = sum(completed) / duration
+    return results
+
+
+# ------------------------------------- PR 9: workstation cache scaling
+
+
+def client_cache_scaling(cache_sizes, n_clients: Optional[int] = None,
+                         hot_files: int = 24, file_size: int = 16 * KB,
+                         ops_per_client: int = 150, think: float = 2e-3,
+                         seed: int = 1989,
+                         testbed: Testbed = DEFAULT_TESTBED) -> dict:
+    """Served throughput and server load vs the workstation cache size.
+
+    One simulated workstation runs ``n_clients`` client processes
+    sharing a single :class:`~repro.client.WorkstationCache`. Each
+    process performs ``ops_per_client`` Zipf-distributed whole-file
+    reads over a hot set of ``hot_files`` files with a little client
+    compute between reads (fixed total work, so the per-size numbers
+    compare load for the *same* job, not for whatever a saturated
+    server happened to admit). Even-numbered processes read under the
+    owner capabilities; odd-numbered ones under locally restricted
+    read-only capabilities — so both local-verification paths run:
+    known-pair hits and verifier derivation from the secret learned
+    off an owner admission.
+
+    As the byte budget grows toward the working-set size the hit rate
+    rises, the server's READ load falls, and served ops/sec climbs —
+    the §5 claim that client caching lifts the server ceiling,
+    measured. Returns per-cache-size dicts of served ops/sec, server-
+    side load, and the workstation cache counters.
+    """
+    n_clients = (testbed.workstation.processes
+                 if n_clients is None else n_clients)
+    results: dict = {}
+    for cache_bytes in cache_sizes:
+        rig = make_rig(seed=seed, testbed=testbed, with_nfs=False,
+                       background_load=False)
+        env, client, bullet = rig.env, rig.bullet_client, rig.bullet
+        owners = [run_process(env, client.create(bytes([i % 251]) * file_size, 1))
+                  for i in range(hot_files)]
+        shared = CachingBulletClient(
+            client, cache=WorkstationCache(
+                cache_bytes, name="ws0", metrics=rig.metrics,
+                cpu=testbed.cpu),
+        )
+        readers = [run_process(env, shared.restrict(cap, RIGHT_READ))
+                   for cap in owners]
+        served_before = bullet.stats.reads
+
+        def client_loop(index):
+            caps = owners if index % 2 == 0 else readers
+            stream = SeededStream(seed, f"ws0:client{index}")
+            for _ in range(ops_per_client):
+                cap = caps[stream.zipf_index(hot_files)]
+                yield from shared.read(cap)
+                # Client compute between reads, so a hit loop does not
+                # spin in zero simulated time.
+                yield env.timeout(think)
+
+        start = env.now
+        waits = [env.process(client_loop(index))
+                 for index in range(n_clients)]
+        for wait in waits:
+            env.run(until=wait)
+        elapsed = env.now - start
+        stats = shared.cache.stats
+        total_ops = n_clients * ops_per_client
+        results[cache_bytes] = {
+            "served_ops_per_sec": total_ops / elapsed,
+            "server_reads": bullet.stats.reads - served_before,
+            "lookups": stats.lookups,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "bytes_saved": stats.bytes_saved,
+            "rpcs_avoided": stats.rpcs_avoided,
+            "local_verifies": stats.local_verifies,
+            "cached_bytes": shared.cache.cached_bytes,
+        }
     return results
 
 

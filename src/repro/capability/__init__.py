@@ -5,6 +5,7 @@ from .capability import (
     CAP_WIRE_SIZE,
     Capability,
     NULL_CAPABILITY,
+    local_verifier,
     mint_owner,
     port_for_name,
     require,
@@ -28,6 +29,7 @@ __all__ = [
     "CAP_WIRE_SIZE",
     "Capability",
     "NULL_CAPABILITY",
+    "local_verifier",
     "mint_owner",
     "port_for_name",
     "require",

@@ -42,6 +42,7 @@ __all__ = [
     "NULL_CAPABILITY",
     "mint_owner",
     "restrict",
+    "local_verifier",
     "verify",
     "require",
     "port_for_name",
@@ -153,17 +154,31 @@ def server_restrict(cap_rights: int, secret: int, mask: int) -> tuple[int, int]:
     capability. The server knows ``secret`` so it can mint a check field
     for any subset of the presented rights."""
     new_rights = cap_rights & mask & ALL_RIGHTS
-    if new_rights == ALL_RIGHTS:
-        return new_rights, secret & CHECK_MASK
-    return new_rights, one_way(secret ^ _pad_rights(new_rights))
+    return new_rights, local_verifier(secret, new_rights)
+
+
+def local_verifier(secret: int, rights: int) -> int:
+    """The check field a genuine capability with ``rights`` must carry,
+    derived from the object's secret.
+
+    This is the whole trick behind client-side verification (§5 /
+    BuffetFS-style "permission checks without RPCs"): an *owner*
+    capability's check field is the secret itself, so any party holding
+    the owner capability can derive the verifier for any rights subset
+    locally and validate presented capabilities without consulting the
+    server. The server's :func:`verify` is this same function compared
+    against the secret stored in the inode.
+    """
+    if rights == ALL_RIGHTS:
+        return secret & CHECK_MASK
+    return one_way(secret ^ _pad_rights(rights))
 
 
 def verify(cap: Capability, secret: int) -> bool:
-    """Server-side check of a presented capability against the object's
-    secret random number. Constant logic regardless of rights value."""
-    if cap.rights == ALL_RIGHTS:
-        return cap.check == (secret & CHECK_MASK)
-    return cap.check == one_way(secret ^ _pad_rights(cap.rights))
+    """Check of a presented capability against the object's secret
+    random number (server-side, or client-side by a secret holder).
+    Constant logic regardless of rights value."""
+    return cap.check == local_verifier(secret, cap.rights)
 
 
 def require(cap: Capability, secret: int, needed_rights: int) -> None:

@@ -1,10 +1,13 @@
-"""Client library (S12): Bullet stubs, caching, and retry/backoff."""
+"""Client library (S12): Bullet stubs, the workstation caching plane,
+and retry/backoff."""
 
 from .bullet_client import BulletClient, CachingBulletClient, LocalBulletStub
 from .directory_client import DirectoryClient
 from .replication import ReplicaSetClient, replicate_file
 from .retry import TRANSIENT_ERRORS, Retrier, RetryPolicy
+from .workstation import WorkstationCache, WorkstationCacheStats
 
 __all__ = ["BulletClient", "CachingBulletClient", "DirectoryClient",
            "LocalBulletStub", "ReplicaSetClient", "Retrier", "RetryPolicy",
-           "TRANSIENT_ERRORS", "replicate_file"]
+           "TRANSIENT_ERRORS", "WorkstationCache", "WorkstationCacheStats",
+           "replicate_file"]

@@ -16,21 +16,31 @@ cached entry is correct by construction. What may change is which
 capability a *name* refers to, and that is checked against the
 **directory** service: "simply done by looking up its capability in the
 directory service, and comparing it to the capability on which the copy
-is based."
+is based." The cache itself is a
+:class:`~repro.client.workstation.WorkstationCache` — shared by every
+client process on one simulated workstation, with local check-field
+verification so a hot READ touches neither the network nor the server.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Optional
 
-from ..capability import Capability
+from ..capability import (
+    ALL_RIGHTS,
+    Capability,
+    RIGHT_READ,
+    restrict as restrict_locally,
+    rights_names,
+)
 from ..core import OPCODES, BulletServer
-from ..errors import error_for_status
+from ..errors import RightsError, error_for_status
 from ..net import RpcRequest, RpcTransport
 from ..obs import MetricsRegistry
+from ..profiles import CpuProfile
 from ..sim import SeededStream, Tracer
 from .retry import Retrier, RetryPolicy
+from .workstation import WorkstationCache
 
 __all__ = ["BulletClient", "LocalBulletStub", "CachingBulletClient"]
 
@@ -185,43 +195,72 @@ class LocalBulletStub:
 
 
 class CachingBulletClient:
-    """A Bullet stub wrapper with an LRU client cache of whole files.
+    """A Bullet stub wrapper reading through a workstation's cache.
 
-    Keys are packed capabilities: immutability makes a hit permanently
-    valid for that capability. ``lookup_validated`` implements the §5 freshness
-    check for *names*: resolve the name in the directory and compare the
-    returned capability with the cached one.
+    Entries are keyed by object and carry locally verifiable
+    capability state (see :class:`~repro.client.workstation
+    .WorkstationCache`): a hit — under the admitting capability or any
+    locally verified restriction of it — costs no RPC and no server
+    time. ``lookup_validated`` implements the §5 freshness check for
+    *names*: resolve the name in the directory and compare the returned
+    capability with the capability the cached copy is based on; that
+    directory round trip is the plane's only coherence traffic.
+
+    Pass ``cache=`` to share one :class:`WorkstationCache` across all
+    the client processes of a simulated workstation; with only
+    ``capacity_bytes`` the client builds a private one (the historical
+    per-stub shape). ``hits``/``misses`` count this client's outcomes;
+    the cache's own counters aggregate the whole workstation.
     """
 
-    def __init__(self, stub, capacity_bytes: int):
-        if capacity_bytes <= 0:
-            raise ValueError("client cache capacity must be positive")
+    def __init__(self, stub, capacity_bytes: Optional[int] = None,
+                 cache: Optional[WorkstationCache] = None,
+                 cpu: Optional[CpuProfile] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "workstation"):
+        if cache is not None and capacity_bytes is not None:
+            raise ValueError("pass capacity_bytes or cache, not both")
         self.stub = stub
         self.env = stub.env
-        self.capacity = capacity_bytes
-        self._entries: OrderedDict[bytes, bytes] = OrderedDict()
-        self._used = 0
+        if cache is None:
+            cache = WorkstationCache(
+                capacity_bytes, name=name,
+                metrics=(metrics if metrics is not None
+                         else getattr(stub, "metrics", None)),
+                cpu=cpu,
+            )
+        self.cache = cache
+        self._tracer = tracer
         self.hits = 0
         self.misses = 0
 
     # The mutating operations pass straight through.
 
     def create(self, data: bytes, p_factor: Optional[int] = None):
-        """Process: pass-through create (new files are not pre-cached)."""
+        """Process: pass-through create (new files are not pre-cached;
+        caching is driven by read traffic only)."""
         return (yield from self.stub.create(data, p_factor))
 
     def size(self, cap: Capability):
-        """Process: size from the cache when the file is held locally."""
-        key = cap.pack()
-        if key in self._entries:
-            yield from ()
-            return len(self._entries[key])
+        """Process: size from the cache when the file is held locally.
+
+        A size hit is a real hit: it refreshes the entry's recency and
+        is accounted exactly like a read hit (hot SIZE traffic used to
+        silently age entries toward eviction and under-report hits)."""
+        result = yield from self._probe(cap, op="size")
+        if result is not None:
+            return len(result.data)
         return (yield from self.stub.size(cap))
 
     def delete(self, cap: Capability):
-        """Process: delete, invalidating any cached copy."""
-        self._entries.pop(cap.pack(), None)
+        """Process: delete; invalidates the cached copy only after the
+        server reports success — a failed DELETE (forged cap, missing
+        rights) must not evict a perfectly valid immutable entry. The
+        stub's retry layer dedupes re-sends under a pre-assigned txid,
+        so exactly one success reaches the invalidation."""
         yield from self.stub.delete(cap)
+        self.cache.invalidate(cap)
 
     def modify(self, cap: Capability, offset: int, delete_bytes: int,
                insert_data: bytes, p_factor: Optional[int] = None):
@@ -230,18 +269,35 @@ class CachingBulletClient:
                                             insert_data, p_factor))
 
     def read(self, cap: Capability):
-        """Process: read through the cache. A hit costs no RPC at all."""
-        key = cap.pack()
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            yield from ()
-            return cached
-        self.misses += 1
+        """Process: read through the workstation cache. A hit — locally
+        verified, rights-checked — touches neither the network nor the
+        server."""
+        result = yield from self._probe(cap, op="read")
+        if result is not None:
+            return result.data
         data = yield from self.stub.read(cap)
-        self._admit(key, data)
+        self.cache.admit(cap, data)
         return data
+
+    def restrict(self, cap: Capability, mask: int):
+        """Process: rights restriction. An owner capability is
+        restricted entirely client-side (§2.1: its check field is the
+        secret, so the restricted check derives locally — one one-way
+        function, no RPC); anything else needs the server's help."""
+        if cap.rights != ALL_RIGHTS:
+            return (yield from self.stub.restrict(cap, mask))
+        restricted = restrict_locally(cap, mask)
+        if restricted is not cap and self.cache.derive_cost > 0.0:
+            yield self.env.timeout(self.cache.derive_cost)
+        # Seed the cache: if the object is resident, a read under the
+        # restricted capability is already a verified hit.
+        self.cache.register_verified(cap, restricted)
+        self.cache.note_rpc_avoided()
+        return restricted
+
+    def stat(self, cap: Capability):
+        """Process: pass-through server status snapshot."""
+        return (yield from self.stub.stat(cap))
 
     def lookup_validated(self, directory, dir_cap: Capability, name: str,
                          based_on: Capability):
@@ -251,15 +307,37 @@ class CachingBulletClient:
         current = yield from directory.lookup(dir_cap, name)
         return current == based_on, current
 
-    def _admit(self, key: bytes, data: bytes) -> None:
-        if len(data) > self.capacity:
-            return  # too large to cache; serve-through only
-        while self._used + len(data) > self.capacity and self._entries:
-            _old_key, old = self._entries.popitem(last=False)
-            self._used -= len(old)
-        self._entries[key] = data
-        self._used += len(data)
-
     @property
     def cached_bytes(self) -> int:
-        return self._used
+        return self.cache.cached_bytes
+
+    def _probe(self, cap: Capability, op: str):
+        """Process: one accounted cache lookup. Returns the
+        :class:`~repro.client.workstation.LookupResult` on a hit, None
+        on a miss; raises locally — without any server traffic — when
+        the capability verifies but lacks read rights."""
+        tracing = self._tracer is not None
+        span = (self._tracer.begin_span("span", f"client.{op}",
+                                        object=cap.object)
+                if tracing else 0)
+        result = self.cache.lookup(cap, RIGHT_READ, op=op)
+        if result.verify_cost > 0.0:
+            yield self.env.timeout(result.verify_cost)
+        if result.denied:
+            if tracing:
+                self._tracer.end_span(span, "span", f"client.{op}",
+                                      outcome="denied")
+            raise RightsError(
+                f"{cap} lacks rights {rights_names(RIGHT_READ)}"
+            )
+        if result.data is not None:
+            self.hits += 1
+            if tracing:
+                self._tracer.end_span(span, "span", f"client.{op}",
+                                      outcome="hit")
+            return result
+        self.misses += 1
+        if tracing:
+            self._tracer.end_span(span, "span", f"client.{op}",
+                                  outcome="miss")
+        return None

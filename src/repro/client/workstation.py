@@ -1,0 +1,327 @@
+"""The workstation cache (§5): shared whole-file client caching with
+local capability verification.
+
+The paper's scaling argument rests on two properties of the Bullet
+design:
+
+* **Immutability** — "Client caching of immutable files is
+  straightforward": a capability names immutable bytes, so a cached
+  copy can never be stale *for that capability*. The only thing that
+  can change is which capability a directory *name* refers to, and
+  that is checked against the directory service (the §5 currency
+  check), never against the file server.
+* **Sparse capabilities** — an owner capability's check field *is* the
+  object's secret (§2.1, ref. [12]), so any holder can derive the
+  verifier ``f(secret ^ pad(rights))`` for an arbitrary rights subset
+  locally. Permission checks therefore need no RPC either
+  (BuffetFS-style): a workstation that cached a file under its owner
+  capability can validate any restricted capability presented by a
+  sibling process against a **locally derived verifier** and serve the
+  bytes straight from RAM.
+
+:class:`WorkstationCache` models the client half of that argument: one
+byte-budgeted, LRU-with-pinning, whole-file cache **shared by every
+client process on one simulated workstation**. Entries are keyed by
+object (port, object number) and carry the verification state learned
+about that object:
+
+* ``secret`` — known iff an owner capability has been seen; enables
+  verification of *any* capability for the object via
+  :func:`repro.capability.local_verifier`.
+* ``verified`` — the set of ``(rights, check)`` pairs proven genuine,
+  either by a server round trip (the admitting READ) or by a local
+  derivation; re-presenting a known pair verifies in O(1) with no
+  one-way-function work, mirroring the server's verified-cap cache.
+
+A hot READ through :class:`~repro.client.CachingBulletClient` then
+touches neither the network nor the server: lookup, local check-field
+validation, local rights check, bytes returned. Every outcome is
+accounted on the shared metrics registry
+(``repro_client_cache_{lookups,hits,misses,evictions,bytes_saved,
+rpcs_avoided,local_verifies}_total`` and the ``repro_client_cache_bytes``
+gauge), and the cache maintains the accounting invariant
+``cached_bytes == sum(len(entry) for entries)`` under any admit/evict/
+pin/invalidate interleaving (:meth:`audit`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..capability import ALL_RIGHTS, Capability, has_rights, local_verifier
+from ..errors import ConsistencyError, NotFoundError
+from ..obs import MetricsRegistry, RegistryStats
+from ..profiles import CpuProfile
+
+__all__ = ["WorkstationCache", "WorkstationCacheStats", "LookupResult"]
+
+
+class WorkstationCacheStats(RegistryStats):
+    """Counters of one workstation's shared client cache, as a facade
+    over the shared registry (``repro_client_cache_*_total``)."""
+
+    _PREFIX = "repro_client_cache"
+    _COUNTER_FIELDS = (
+        "lookups",
+        "hits",
+        "misses",
+        "evictions",
+        "bytes_saved",
+        "rpcs_avoided",
+        "local_verifies",
+    )
+
+
+class LookupResult:
+    """Outcome of one cache lookup.
+
+    ``data`` carries the file bytes on a hit and is ``None`` otherwise;
+    ``denied`` marks a capability that verified as genuine but lacks
+    the required rights (the caller must raise
+    :class:`~repro.errors.RightsError` — locally, without an RPC);
+    ``verify_cost`` is the simulated CPU seconds of check-field work the
+    caller must charge before acting on the result (one one-way-function
+    evaluation when a previously unseen pair was derived, zero when the
+    pair was already known or no local verification was possible).
+    """
+
+    __slots__ = ("data", "denied", "verify_cost")
+
+    def __init__(self, data: Optional[bytes], denied: bool,
+                 verify_cost: float):
+        self.data = data
+        self.denied = denied
+        self.verify_cost = verify_cost
+
+    @property
+    def hit(self) -> bool:
+        return self.data is not None
+
+
+class _Entry:
+    """One cached whole file plus its verification state."""
+
+    __slots__ = ("data", "secret", "verified", "pins")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.secret: Optional[int] = None
+        self.verified: set = set()  # {(rights, check)} proven genuine
+        self.pins = 0
+
+
+class WorkstationCache:
+    """One workstation's shared, byte-budgeted client file cache."""
+
+    def __init__(self, capacity_bytes: int, name: str = "workstation",
+                 metrics: Optional[MetricsRegistry] = None,
+                 cpu: Optional[CpuProfile] = None):
+        if capacity_bytes is None or capacity_bytes <= 0:
+            raise ValueError("client cache capacity must be positive")
+        self.capacity = capacity_bytes
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cpu = cpu
+        self.stats = WorkstationCacheStats(self.metrics, workstation=name)
+        self._c_lookups = self.stats.handle("lookups")
+        self._c_hits = self.stats.handle("hits")
+        self._c_misses = self.stats.handle("misses")
+        self._c_evictions = self.stats.handle("evictions")
+        self._c_bytes_saved = self.stats.handle("bytes_saved")
+        self._c_rpcs_avoided = self.stats.handle("rpcs_avoided")
+        self._c_local_verifies = self.stats.handle("local_verifies")
+        self._bytes_gauge = self.metrics.gauge(
+            "repro_client_cache_bytes", workstation=name)
+        self._entries: OrderedDict[tuple[int, int], _Entry] = OrderedDict()
+        self._used = 0
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes held; invariant: equals the sum of entry sizes."""
+        return self._used
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cap: Capability) -> bool:
+        return (cap.port, cap.object) in self._entries
+
+    def audit(self) -> int:
+        """Check the accounting invariant; returns the byte total."""
+        actual = sum(len(e.data) for e in self._entries.values())
+        if actual != self._used or actual > self.capacity:
+            raise ConsistencyError(
+                f"cache accounting drifted: used={self._used}, "
+                f"actual={actual}, capacity={self.capacity}"
+            )
+        return actual
+
+    @property
+    def derive_cost(self) -> float:
+        """Simulated cost of one local check-field derivation."""
+        return self.cpu.capability_check if self.cpu is not None else 0.0
+
+    # ------------------------------------------------------------- lookup
+
+    def lookup(self, cap: Capability, needed_rights: int,
+               op: str = "read") -> LookupResult:
+        """Probe the cache with a capability.
+
+        A hit requires (a) the object's bytes to be resident and (b) the
+        capability to verify *locally*: its ``(rights, check)`` pair is
+        already known genuine, or the entry holds the object's secret
+        and the pair matches the locally derived verifier. A genuine
+        capability lacking ``needed_rights`` is reported as ``denied``
+        (counted as a hit: the cache answered authoritatively). Anything
+        else — absent object, unverifiable or mismatching check field —
+        is a miss; the caller falls through to the server, which remains
+        the authority on forged capabilities and reincarnated object
+        numbers.
+        """
+        self._c_lookups.inc(1)
+        entry = self._entries.get((cap.port, cap.object))
+        cost = 0.0
+        verified = False
+        if entry is not None:
+            pair = (cap.rights, cap.check)
+            verified = pair in entry.verified
+            if not verified and entry.secret is not None:
+                cost = self.derive_cost
+                self._c_local_verifies.inc(1)
+                verified = cap.check == local_verifier(entry.secret,
+                                                       cap.rights)
+                if verified:
+                    entry.verified.add(pair)
+        if not verified:
+            self._c_misses.inc(1)
+            return LookupResult(None, False, cost)
+        self._entries.move_to_end((cap.port, cap.object))
+        self._c_hits.inc(1)
+        self._c_rpcs_avoided.inc(1)
+        if not has_rights(cap.rights, needed_rights):
+            return LookupResult(None, True, cost)
+        if op == "read":
+            self._c_bytes_saved.inc(len(entry.data))
+        return LookupResult(entry.data, False, cost)
+
+    # ---------------------------------------------------------- admission
+
+    def admit(self, cap: Capability, data: bytes) -> bool:
+        """Admit a whole file fetched from the server under ``cap``.
+
+        Returns False when the file cannot be cached (larger than the
+        budget, or the budget is filled by pinned entries). Re-admission
+        of a resident object by a concurrent sharer merges verification
+        state without touching the byte accounting (the double-count
+        fix: ``cached_bytes`` tracks reality, never the admission
+        count). A resident object whose bytes differ — a reincarnated
+        object number — is replaced, with the stale verification state
+        dropped.
+        """
+        key = (cap.port, cap.object)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.data == data:
+                self._note_verified(entry, cap)
+                self._entries.move_to_end(key)
+                return True
+            if entry.pins:
+                # Someone is mid-copy on the old bytes; serve through.
+                return False
+            self._drop(key, entry)
+        if len(data) > self.capacity:
+            return False
+        if not self._make_room(len(data)):
+            return False
+        entry = _Entry(bytes(data))
+        self._note_verified(entry, cap)
+        self._entries[key] = entry
+        self._account(len(data))
+        return True
+
+    def register_verified(self, cap: Capability,
+                          derived: Optional[Capability] = None) -> None:
+        """Record capabilities proven genuine out of band (e.g. a local
+        owner-side restrict): seeds the entry's verification state so a
+        later read under ``derived`` hits without any check-field work."""
+        entry = self._entries.get((cap.port, cap.object))
+        if entry is None:
+            return
+        self._note_verified(entry, cap)
+        if derived is not None and derived.object == cap.object:
+            self._note_verified(entry, derived)
+
+    def note_rpc_avoided(self) -> None:
+        """Account one server round trip that local state made
+        unnecessary outside the lookup path (e.g. a local restrict)."""
+        self._c_rpcs_avoided.inc(1)
+
+    # -------------------------------------------------- invalidation, pins
+
+    def invalidate(self, cap: Capability) -> bool:
+        """Drop the object's entry (after a successful DELETE). Returns
+        whether an entry was dropped; refuses to drop a pinned entry."""
+        key = (cap.port, cap.object)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if entry.pins:
+            raise ConsistencyError(
+                f"cannot invalidate pinned cache entry for object "
+                f"{cap.object}"
+            )
+        self._drop(key, entry)
+        return True
+
+    def pin(self, cap: Capability) -> None:
+        """Exempt the object's entry from eviction (nestable)."""
+        entry = self._entries.get((cap.port, cap.object))
+        if entry is None:
+            raise NotFoundError(
+                f"object {cap.object} is not cached; cannot pin"
+            )
+        entry.pins += 1
+
+    def unpin(self, cap: Capability) -> None:
+        """Release one pin; unbalanced unpins are accounting bugs."""
+        entry = self._entries.get((cap.port, cap.object))
+        if entry is None or entry.pins <= 0:
+            raise ConsistencyError(
+                f"unpin of object {cap.object} without a matching pin"
+            )
+        entry.pins -= 1
+
+    # ----------------------------------------------------------- internals
+
+    def _note_verified(self, entry: _Entry, cap: Capability) -> None:
+        entry.verified.add((cap.rights, cap.check))
+        if cap.rights == ALL_RIGHTS:
+            # The owner capability carries the object's secret itself:
+            # from here on any rights subset verifies locally.
+            entry.secret = cap.check
+
+    def _make_room(self, needed: int) -> bool:
+        """Evict unpinned entries, LRU first, until ``needed`` fits."""
+        while self._used + needed > self.capacity:
+            victim_key = None
+            for key, entry in self._entries.items():
+                if not entry.pins:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return False
+            self._drop(victim_key, self._entries[victim_key])
+            self._c_evictions.inc(1)
+        return True
+
+    def _drop(self, key: tuple[int, int], entry: _Entry) -> None:
+        del self._entries[key]
+        self._account(-len(entry.data))
+
+    def _account(self, delta: int) -> None:
+        self._used += delta
+        self._bytes_gauge.set(self._used)

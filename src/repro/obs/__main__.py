@@ -71,6 +71,16 @@ def main(argv=None) -> int:
                      help="bench artifact path")
     pr5.add_argument("--top", default=None,
                      help="optional second copy (e.g. BENCH_PR5.json)")
+    pr9 = sub.add_parser("bench-pr9", help="run the workstation-cache "
+                                           "scaling experiment")
+    pr9.add_argument("--seed", type=int, default=1989)
+    pr9.add_argument("--ops-per-client", type=int, default=150,
+                     help="reads each client process performs")
+    pr9.add_argument("--results",
+                     default="benchmarks/results/bench_pr9.json",
+                     help="bench artifact path")
+    pr9.add_argument("--top", default=None,
+                     help="optional second copy (e.g. BENCH_PR9.json)")
     speedup = sub.add_parser(
         "speedup", help="measure wall-clock speedup of the kernel fast "
                         "paths against a pristine baseline checkout")
@@ -100,6 +110,14 @@ def main(argv=None) -> int:
         from .bench import write_bench_pr5
         write_bench_pr5(args.results, args.top,
                         seed=args.seed, duration=args.duration)
+        print(f"wrote {args.results}"
+              + (f" and {args.top}" if args.top else ""))
+        return 0
+
+    if args.command == "bench-pr9":
+        from .bench import write_bench_pr9
+        write_bench_pr9(args.results, args.top, seed=args.seed,
+                        ops_per_client=args.ops_per_client)
         print(f"wrote {args.results}"
               + (f" and {args.top}" if args.top else ""))
         return 0

@@ -20,13 +20,14 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from ..bench import (PAPER_SIZES, bullet_figure2, cold_read_disciplines,
-                     make_rig, nfs_figure3, throughput_vs_workers)
+from ..bench import (PAPER_SIZES, bullet_figure2, client_cache_scaling,
+                     cold_read_disciplines, make_rig, nfs_figure3,
+                     throughput_vs_workers)
 from ..errors import ConsistencyError
-from ..units import to_msec
+from ..units import KB, to_msec
 
-__all__ = ["run_bench", "run_bench_pr5", "write_bench", "write_bench_pr5",
-           "canonical_json"]
+__all__ = ["run_bench", "run_bench_pr5", "run_bench_pr9", "write_bench",
+           "write_bench_pr5", "write_bench_pr9", "canonical_json"]
 
 #: Sizes used for the quick cache-policy ablation (kept small: the
 #: ablation is a smoke check, not a figure).
@@ -154,6 +155,84 @@ def run_bench_pr5(seed: int = 1989, duration: float = 2.0) -> dict:
             "worker_scaling": "ops/sec strictly increasing 1 -> 2 -> 4",
         },
     }
+
+
+#: Workstation cache byte budgets swept by the PR 9 experiment. The hot
+#: set is 24 x 16 KB = 384 KB, so the sweep runs from thrashing (64 KB
+#: holds four files) to full residency (448 KB holds everything).
+PR9_CACHE_SIZES = (64 * KB, 160 * KB, 288 * KB, 448 * KB)
+
+
+def run_bench_pr9(seed: int = 1989, ops_per_client: int = 150) -> dict:
+    """The PR 9 experiment: served throughput and server READ load vs
+    the workstation cache size, under many client processes sharing one
+    cache (§5 client caching with local capability verification).
+
+    Checks — raising :class:`ConsistencyError` so CI fails loudly —
+    that per size ``hits + misses == lookups``, and that across the
+    sweep server reads fall strictly while hits, bytes saved, RPCs
+    avoided, and served ops/sec rise strictly.
+    """
+    sizes = list(PR9_CACHE_SIZES)
+    sweep = client_cache_scaling(sizes, ops_per_client=ops_per_client,
+                                 seed=seed)
+    for size in sizes:
+        row = sweep[size]
+        if row["hits"] + row["misses"] != row["lookups"]:
+            raise ConsistencyError(
+                f"client cache conservation violated at {size} B: "
+                f"{row['hits']} hits + {row['misses']} misses != "
+                f"{row['lookups']} lookups"
+            )
+    for field, direction in (("server_reads", "falling"),
+                             ("hits", "rising"),
+                             ("bytes_saved", "rising"),
+                             ("rpcs_avoided", "rising"),
+                             ("served_ops_per_sec", "rising")):
+        series = [sweep[size][field] for size in sizes]
+        pairs = zip(series, series[1:])
+        ok = (all(a > b for a, b in pairs) if direction == "falling"
+              else all(a < b for a, b in pairs))
+        if not ok:
+            raise ConsistencyError(
+                f"client cache scaling: {field} not strictly "
+                f"{direction} across {sizes}: {series}"
+            )
+    return {
+        "meta": {
+            "paper": "The Design of a High-Performance File Server "
+                     "(van Renesse, Tanenbaum, Wilschut; ICDCS 1989)",
+            "experiment": "workstation cache scaling: served ops/sec "
+                          "and server READ load vs client-cache size, "
+                          "many clients sharing one cache with local "
+                          "capability verification",
+            "seed": seed,
+            "ops_per_client": ops_per_client,
+            "cache_sizes_bytes": sizes,
+        },
+        "client_cache_scaling": {
+            str(size): sweep[size] for size in sizes
+        },
+        "invariants": {
+            "client_cache_conservation": "hits + misses == lookups "
+                                         "at every cache size",
+            "server_reads": "strictly falling with cache size",
+            "served_ops_per_sec": "strictly rising with cache size",
+            "bytes_saved": "strictly rising with cache size",
+            "rpcs_avoided": "strictly rising with cache size",
+        },
+    }
+
+
+def write_bench_pr9(results_path: str, top_path: Optional[str] = None,
+                    seed: int = 1989, ops_per_client: int = 150) -> dict:
+    """Run the PR 9 bench and write the canonical JSON."""
+    payload = run_bench_pr9(seed=seed, ops_per_client=ops_per_client)
+    text = canonical_json(payload)
+    for path in filter(None, (results_path, top_path)):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return payload
 
 
 def write_bench_pr5(results_path: str, top_path: Optional[str] = None,

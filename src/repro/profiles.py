@@ -37,6 +37,7 @@ __all__ = [
     "CpuProfile",
     "NfsProfile",
     "BulletProfile",
+    "WorkstationProfile",
     "Testbed",
     "DEFAULT_TESTBED",
 ]
@@ -187,6 +188,25 @@ class BulletProfile:
 
 
 @dataclass(frozen=True)
+class WorkstationProfile:
+    """A diskless client workstation running several user processes.
+
+    §5: "Client caching of immutable files is straightforward" — each
+    workstation dedicates a slice of its RAM to a whole-file cache
+    shared by every local process (:class:`repro.client.WorkstationCache`).
+    A 1989 Sun-3/60-class machine had 4–12 MB total; one MB for the
+    file cache is the conservative default the bench varies.
+    """
+
+    name: str = "sun3-workstation"
+    # RAM dedicated to the shared client file cache.
+    cache_bytes: int = 1 * MB
+    # Typical number of concurrent client processes sharing the cache
+    # (login shells, compiler passes, editors); the bench default.
+    processes: int = 8
+
+
+@dataclass(frozen=True)
 class Testbed:
     """A complete simulated hardware configuration."""
 
@@ -195,6 +215,7 @@ class Testbed:
     cpu: CpuProfile = field(default_factory=CpuProfile)
     nfs: NfsProfile = field(default_factory=NfsProfile)
     bullet: BulletProfile = field(default_factory=BulletProfile)
+    workstation: WorkstationProfile = field(default_factory=WorkstationProfile)
 
 
 DEFAULT_TESTBED = Testbed()
