@@ -321,8 +321,10 @@ def client_cache_scaling(cache_sizes, n_clients: Optional[int] = None,
     compute between reads (fixed total work, so the per-size numbers
     compare load for the *same* job, not for whatever a saturated
     server happened to admit). Even-numbered processes read under the
-    owner capabilities; odd-numbered ones under locally restricted
-    read-only capabilities — so both local-verification paths run:
+    owner capabilities; odd-numbered ones under read-only restrictions
+    minted at setup (by the server: nothing is cached yet, so the cache
+    cannot vouch for the owner capabilities and restrict() falls
+    through) — so both local-verification paths run during the sweep:
     known-pair hits and verifier derivation from the secret learned
     off an owner admission.
 

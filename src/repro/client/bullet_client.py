@@ -258,7 +258,10 @@ class CachingBulletClient:
         server reports success — a failed DELETE (forged cap, missing
         rights) must not evict a perfectly valid immutable entry. The
         stub's retry layer dedupes re-sends under a pre-assigned txid,
-        so exactly one success reaches the invalidation."""
+        so exactly one success reaches the invalidation. An entry a
+        sibling process has pinned is marked dead rather than dropped
+        (the copy-in-progress finishes on the immutable bytes; the
+        entry stops serving hits and is released on the last unpin)."""
         yield from self.stub.delete(cap)
         self.cache.invalidate(cap)
 
@@ -280,17 +283,25 @@ class CachingBulletClient:
         return data
 
     def restrict(self, cap: Capability, mask: int):
-        """Process: rights restriction. An owner capability is
-        restricted entirely client-side (§2.1: its check field is the
-        secret, so the restricted check derives locally — one one-way
-        function, no RPC); anything else needs the server's help."""
-        if cap.rights != ALL_RIGHTS:
+        """Process: rights restriction. An owner capability the cache
+        can vouch for — it admitted the resident entry, or matches the
+        entry's known secret — is restricted entirely client-side
+        (§2.1: its check field is the secret, so the restricted check
+        derives locally — one one-way function, no RPC), and the cache
+        is seeded so a read under the restriction is a verified hit.
+
+        Everything else goes to the server: restricted capabilities,
+        owner capabilities of uncached objects, and owner-*shaped*
+        capabilities the cache cannot prove genuine. The server stays
+        the authority on forged and reincarnated capabilities, so a
+        bogus owner capability raises here (as it always did) instead
+        of yielding a plausible-looking local derivation — and cannot
+        poison the workstation cache's verification state."""
+        if cap.rights != ALL_RIGHTS or not self.cache.owner_verified(cap):
             return (yield from self.stub.restrict(cap, mask))
         restricted = restrict_locally(cap, mask)
         if restricted is not cap and self.cache.derive_cost > 0.0:
             yield self.env.timeout(self.cache.derive_cost)
-        # Seed the cache: if the object is resident, a read under the
-        # restricted capability is already a verified hit.
         self.cache.register_verified(cap, restricted)
         self.cache.note_rpc_avoided()
         return restricted

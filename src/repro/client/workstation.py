@@ -33,6 +33,14 @@ about that object:
   derivation; re-presenting a known pair verifies in O(1) with no
   one-way-function work, mirroring the server's verified-cap cache.
 
+Verification state is only ever seeded from capabilities *proven*
+genuine — the capability that admitted the entry after a successful
+server READ, or one that derives from an already-known secret. A
+merely owner-*shaped* capability is never trusted: the cache refuses to
+record it (:meth:`register_verified` is a no-op for it), so a forged
+owner capability can neither poison the secret nor mint verified pairs;
+it misses through to the server, which remains the authority.
+
 A hot READ through :class:`~repro.client.CachingBulletClient` then
 touches neither the network nor the server: lookup, local check-field
 validation, local rights check, bytes returned. Every outcome is
@@ -49,7 +57,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
-from ..capability import ALL_RIGHTS, Capability, has_rights, local_verifier
+from ..capability import (
+    ALL_RIGHTS,
+    Capability,
+    has_rights,
+    local_verifier,
+    verify,
+)
 from ..errors import ConsistencyError, NotFoundError
 from ..obs import MetricsRegistry, RegistryStats
 from ..profiles import CpuProfile
@@ -100,15 +114,22 @@ class LookupResult:
 
 
 class _Entry:
-    """One cached whole file plus its verification state."""
+    """One cached whole file plus its verification state.
 
-    __slots__ = ("data", "secret", "verified", "pins")
+    ``dead`` marks an entry invalidated while pinned (the object was
+    deleted on the server, but a sibling is still mid-copy on the
+    immutable bytes): it no longer serves hits, cannot be re-pinned or
+    merged into, and is dropped when the last pin releases.
+    """
+
+    __slots__ = ("data", "secret", "verified", "pins", "dead")
 
     def __init__(self, data: bytes):
         self.data = data
         self.secret: Optional[int] = None
         self.verified: set = set()  # {(rights, check)} proven genuine
         self.pins = 0
+        self.dead = False
 
 
 class WorkstationCache:
@@ -148,7 +169,8 @@ class WorkstationCache:
         return len(self._entries)
 
     def __contains__(self, cap: Capability) -> bool:
-        return (cap.port, cap.object) in self._entries
+        entry = self._entries.get((cap.port, cap.object))
+        return entry is not None and not entry.dead
 
     def audit(self) -> int:
         """Check the accounting invariant; returns the byte total."""
@@ -184,6 +206,8 @@ class WorkstationCache:
         """
         self._c_lookups.inc(1)
         entry = self._entries.get((cap.port, cap.object))
+        if entry is not None and entry.dead:
+            entry = None  # deleted; awaiting the last unpin
         cost = 0.0
         verified = False
         if entry is not None:
@@ -220,12 +244,25 @@ class WorkstationCache:
         fix: ``cached_bytes`` tracks reality, never the admission
         count). A resident object whose bytes differ — a reincarnated
         object number — is replaced, with the stale verification state
-        dropped.
+        dropped; when the reincarnation reuses identical bytes, the
+        admitting capability (server-proven for the *current*
+        incarnation) is checked against the entry's known secret, and a
+        mismatch likewise resets the stale secret and verified pairs,
+        so capabilities of the deleted incarnation miss through to the
+        server instead of riding the byte equality.
         """
         key = (cap.port, cap.object)
         entry = self._entries.get(key)
         if entry is not None:
+            if entry.dead:
+                # Deleted, awaiting the last unpin; serve through.
+                return False
             if entry.data == data:
+                if entry.secret is not None and not verify(cap, entry.secret):
+                    # Reincarnation with identical bytes: the prior
+                    # incarnation's verification state is revoked.
+                    entry.secret = None
+                    entry.verified.clear()
                 self._note_verified(entry, cap)
                 self._entries.move_to_end(key)
                 return True
@@ -243,16 +280,40 @@ class WorkstationCache:
         self._account(len(data))
         return True
 
+    def owner_verified(self, cap: Capability) -> bool:
+        """Whether ``cap`` is an owner capability the cache can vouch
+        for: its object is resident and the capability is proven
+        genuine by the entry's own evidence (it admitted the entry, or
+        its check field equals the known secret). Only such a
+        capability may be restricted locally without asking the
+        server."""
+        if cap.rights != ALL_RIGHTS:
+            return False
+        entry = self._entries.get((cap.port, cap.object))
+        if entry is None or entry.dead:
+            return False
+        return self._proven(entry, cap)
+
     def register_verified(self, cap: Capability,
                           derived: Optional[Capability] = None) -> None:
         """Record capabilities proven genuine out of band (e.g. a local
         owner-side restrict): seeds the entry's verification state so a
-        later read under ``derived`` hits without any check-field work."""
+        later read under ``derived`` hits without any check-field work.
+
+        The cache never takes the caller's word for it: each capability
+        is registered only if it verifies against the entry's existing
+        evidence (its pair is already known, or it derives from the
+        known secret). An unprovable capability — notably a forged
+        owner-shaped one — is silently ignored, so it can neither
+        overwrite the secret nor mint verified pairs; later lookups
+        under it miss through to the server, the authority."""
         entry = self._entries.get((cap.port, cap.object))
-        if entry is None:
+        if entry is None or entry.dead or not self._proven(entry, cap):
             return
         self._note_verified(entry, cap)
-        if derived is not None and derived.object == cap.object:
+        if (derived is not None and derived.port == cap.port
+                and derived.object == cap.object
+                and self._proven(entry, derived)):
             self._note_verified(entry, derived)
 
     def note_rpc_avoided(self) -> None:
@@ -263,39 +324,60 @@ class WorkstationCache:
     # -------------------------------------------------- invalidation, pins
 
     def invalidate(self, cap: Capability) -> bool:
-        """Drop the object's entry (after a successful DELETE). Returns
-        whether an entry was dropped; refuses to drop a pinned entry."""
+        """Invalidate the object's entry (after a successful DELETE).
+
+        An unpinned entry is dropped immediately. A pinned entry — a
+        sibling process is mid-copy on the (immutable, so still
+        readable) bytes — is marked dead instead: it stops serving
+        hits, refuses re-pinning and re-admission, and its bytes are
+        released when the last pin drops. The server-side delete is
+        irreversible, so this never raises; returns whether a live
+        entry was invalidated."""
         key = (cap.port, cap.object)
         entry = self._entries.get(key)
-        if entry is None:
+        if entry is None or entry.dead:
             return False
         if entry.pins:
-            raise ConsistencyError(
-                f"cannot invalidate pinned cache entry for object "
-                f"{cap.object}"
-            )
+            entry.dead = True
+            entry.secret = None
+            entry.verified.clear()
+            return True
         self._drop(key, entry)
         return True
 
     def pin(self, cap: Capability) -> None:
         """Exempt the object's entry from eviction (nestable)."""
         entry = self._entries.get((cap.port, cap.object))
-        if entry is None:
+        if entry is None or entry.dead:
             raise NotFoundError(
                 f"object {cap.object} is not cached; cannot pin"
             )
         entry.pins += 1
 
     def unpin(self, cap: Capability) -> None:
-        """Release one pin; unbalanced unpins are accounting bugs."""
-        entry = self._entries.get((cap.port, cap.object))
+        """Release one pin; unbalanced unpins are accounting bugs. The
+        last unpin of a dead entry releases its bytes."""
+        key = (cap.port, cap.object)
+        entry = self._entries.get(key)
         if entry is None or entry.pins <= 0:
             raise ConsistencyError(
                 f"unpin of object {cap.object} without a matching pin"
             )
         entry.pins -= 1
+        if entry.dead and entry.pins == 0:
+            self._drop(key, entry)
 
     # ----------------------------------------------------------- internals
+
+    def _proven(self, entry: _Entry, cap: Capability) -> bool:
+        """Whether ``cap`` is genuine by the entry's own evidence: its
+        pair is already verified, or it derives from the known secret.
+        Callers must only extend verification state from proven caps."""
+        if (cap.rights, cap.check) in entry.verified:
+            return True
+        if entry.secret is None:
+            return False
+        return verify(cap, entry.secret)
 
     def _note_verified(self, entry: _Entry, cap: Capability) -> None:
         entry.verified.add((cap.rights, cap.check))

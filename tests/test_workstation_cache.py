@@ -125,7 +125,7 @@ def test_oversized_file_rejected():
     assert cache.cached_bytes == 0
 
 
-def test_pin_blocks_eviction_and_invalidation():
+def test_pin_blocks_eviction_and_defers_invalidation():
     cache = WorkstationCache(8 * KB)
     a, b = owner(1), owner(2)
     assert cache.admit(a, b"a" * (4 * KB))
@@ -134,11 +134,15 @@ def test_pin_blocks_eviction_and_invalidation():
     # a is LRU but pinned: admitting c must evict b instead.
     assert cache.admit(owner(3), b"c" * (4 * KB))
     assert a in cache and b not in cache
-    with pytest.raises(ConsistencyError):
-        cache.invalidate(a)
-    cache.unpin(a)
+    # Invalidating the pinned entry defers the drop: it stops serving
+    # hits at once, but its bytes are held until the pin releases.
     assert cache.invalidate(a)
+    assert a not in cache
+    assert not cache.lookup(a, RIGHT_READ).hit
+    assert cache.audit() == 8 * KB
+    cache.unpin(a)
     assert cache.audit() == 4 * KB
+    assert not cache.invalidate(a)
 
 
 def test_fully_pinned_cache_rejects_admission():
@@ -236,21 +240,27 @@ def test_rejects_bad_capacity():
 def test_accounting_invariant_under_random_interleavings(ops):
     """``cached_bytes == sum(len(entry))`` and never above the budget,
     under any admit/evict/pin/invalidate interleaving — the invariant
-    the double-count bug violated."""
+    the double-count bug violated — including the deferred drop of
+    entries invalidated while pinned."""
     cache = WorkstationCache(8 * KB)
     pins: dict = {}
+    dead: set = set()
     for kind, obj, size_kb in ops:
         cap = owner(obj)
         if kind == "admit":
-            cache.admit(cap, bytes([obj]) * (size_kb * KB))
+            admitted = cache.admit(cap, bytes([obj]) * (size_kb * KB))
+            if obj in dead:
+                assert not admitted  # dead entries refuse re-admission
         elif kind == "lookup":
-            cache.lookup(cap, RIGHT_READ)
+            result = cache.lookup(cap, RIGHT_READ)
+            if obj in dead:
+                assert not result.hit
         elif kind == "invalidate":
-            if pins.get(obj, 0):
-                with pytest.raises(ConsistencyError):
-                    cache.invalidate(cap)
-            else:
-                cache.invalidate(cap)
+            invalidated = cache.invalidate(cap)
+            if obj in dead:
+                assert not invalidated  # already logically gone
+            elif invalidated and pins.get(obj, 0):
+                dead.add(obj)  # deferred: dropped at the last unpin
         elif kind == "pin":
             if cap in cache:
                 cache.pin(cap)
@@ -259,18 +269,16 @@ def test_accounting_invariant_under_random_interleavings(ops):
                 with pytest.raises(NotFoundError):
                     cache.pin(cap)
         elif kind == "unpin":
-            if pins.get(obj, 0) and cap in cache:
+            if pins.get(obj, 0):
                 cache.unpin(cap)
                 pins[obj] -= 1
+                if pins[obj] == 0:
+                    dead.discard(obj)
             else:
                 with pytest.raises(ConsistencyError):
                     cache.unpin(cap)
-        # Pins survive entry replacement only while the entry lives;
-        # an admission that replaced a pinned entry is refused, so the
-        # model stays in sync except when eviction dropped the object.
-        for tracked in list(pins):
-            if owner(tracked) not in cache:
-                del pins[tracked]
+        # A pinned entry can be neither evicted nor replaced, so the
+        # model's pin counts stay in lockstep with the cache's.
         assert cache.audit() <= cache.capacity
     assert (cache.stats.hits + cache.stats.misses == cache.stats.lookups)
 
@@ -515,6 +523,148 @@ def test_delete_retried_under_loss_invalidates_exactly_once(env):
     assert bullet.stats.deletes == 1     # txid dedupe: one execution
     assert cache.invalidations == 1      # and one invalidation
     assert cap not in cache
+
+
+# --------------------------- trust: only proven capabilities register
+
+
+def test_forged_owner_cannot_poison_cache_via_register():
+    """Regression (review): register_verified() used to take the
+    caller's word for an owner-shaped capability, overwriting the
+    entry's secret and minting verified pairs from a forgery. It must
+    refuse anything it cannot prove against its own evidence."""
+    cache = WorkstationCache(64 * KB)
+    own = owner(1)
+    reader = restrict(own, RIGHT_READ)
+    assert cache.admit(reader, b"data")  # secret unknown to the cache
+    forged_owner = Capability(port=PORT, object=1, rights=ALL_RIGHTS,
+                              check=own.check ^ 0xBAD)
+    forged_reader = restrict(forged_owner, RIGHT_READ)
+    cache.register_verified(forged_owner, forged_reader)
+    # Neither forged capability hits — they miss through to the server —
+    # and the genuine pair that admitted the entry still verifies.
+    assert not cache.lookup(forged_owner, RIGHT_READ).hit
+    assert not cache.lookup(forged_reader, RIGHT_READ).hit
+    assert cache.lookup(reader, RIGHT_READ).hit
+
+
+def test_register_verified_seeds_from_proven_owner():
+    """The legitimate seeding path still works: an owner capability
+    that admitted the entry registers its local restriction, so the
+    later read is a known-pair hit with zero check-field work."""
+    cache = WorkstationCache(64 * KB, cpu=CpuProfile())
+    own = owner(1)
+    assert cache.admit(own, b"data")
+    derived = restrict(own, RIGHT_READ)
+    cache.register_verified(own, derived)
+    result = cache.lookup(derived, RIGHT_READ)
+    assert result.hit and result.verify_cost == 0.0
+    assert cache.stats.local_verifies == 0
+
+
+def test_forged_owner_restrict_goes_to_server_and_fails(env, rpc_rig):
+    """Regression (review): restrict() trusted any ALL_RIGHTS-shaped
+    capability, derived a plausible-looking restriction locally, and
+    poisoned the shared cache so forged owner and forged restricted
+    capabilities were served file bytes from RAM. A forged owner
+    capability must fall through to the server, which rejects it, and
+    the cache's verification state must survive intact."""
+    bullet, client = rpc_rig
+    caching = CachingBulletClient(client, capacity_bytes=64 * KB)
+    cap = run_process(env, caching.create(b"genuine", 1))
+    run_process(env, caching.read(cap))
+    genuine_reader = run_process(env, caching.restrict(cap, RIGHT_READ))
+    forged = Capability(port=cap.port, object=cap.object,
+                        rights=ALL_RIGHTS, check=cap.check ^ 1)
+
+    def attempt(op):
+        try:
+            yield from op
+        except CapabilityError:
+            return "rejected"
+
+    assert run_process(env,
+                       attempt(caching.restrict(forged, RIGHT_READ))) \
+        == "rejected"
+    # Genuine capabilities still verify locally (no refetch)...
+    reads = bullet.stats.reads
+    assert run_process(env, caching.read(genuine_reader)) == b"genuine"
+    assert bullet.stats.reads == reads
+    # ...and a restriction derived from the forgery misses through to
+    # the server, which rejects it too.
+    forged_reader = restrict(forged, RIGHT_READ)
+    assert run_process(env, attempt(caching.read(forged_reader))) \
+        == "rejected"
+
+
+def test_restrict_of_uncached_owner_cap_delegates_to_server(env, rpc_rig):
+    """An owner capability for an object the cache holds no evidence
+    about cannot be vouched for locally: restrict() asks the server,
+    preserving the pre-cache error semantics for forgeries."""
+    bullet, client = rpc_rig
+    caching = CachingBulletClient(client, capacity_bytes=64 * KB)
+    cap = run_process(env, caching.create(b"x", 1))
+    restricts = bullet.stats.restricts
+    reader = run_process(env, caching.restrict(cap, RIGHT_READ))
+    assert reader.rights == RIGHT_READ
+    assert bullet.stats.restricts == restricts + 1
+    assert run_process(env, caching.read(reader)) == b"x"
+
+
+def test_reincarnation_with_identical_bytes_resets_verification():
+    """Regression (review): an unseen delete + recreate reusing the
+    object number with identical contents used to merge verification
+    state, so the dead incarnation's capabilities kept hitting. An
+    admitting (server-proven) capability that mismatches the known
+    secret now resets the entry's evidence."""
+    cache = WorkstationCache(64 * KB)
+    stale = owner(1, secret=0x1111)
+    fresh = owner(1, secret=0x2222)
+    assert cache.admit(stale, b"same bytes")
+    stale_reader = restrict(stale, RIGHT_READ)
+    assert cache.lookup(stale_reader, RIGHT_READ).hit
+    # Unseen delete + recreate: same object number, same contents.
+    assert cache.admit(fresh, b"same bytes")
+    # The revoked incarnation misses through to the server...
+    assert not cache.lookup(stale, RIGHT_READ).hit
+    assert not cache.lookup(stale_reader, RIGHT_READ).hit
+    # ...while the current one verifies, including fresh derivations.
+    assert cache.lookup(fresh, RIGHT_READ).hit
+    assert cache.lookup(restrict(fresh, RIGHT_READ), RIGHT_READ).hit
+    assert cache.audit() == len(b"same bytes")
+
+
+def test_delete_with_sibling_pin_defers_drop(env, rpc_rig):
+    """Regression (review): a successful server DELETE used to raise
+    ConsistencyError in the deleting client when a sibling process held
+    a pin — after the object was already irreversibly freed — and the
+    stale entry then kept serving reads of a deleted object. The entry
+    is now marked dead (unhittable at once) and its bytes are released
+    on the last unpin."""
+    bullet, client = rpc_rig
+    shared = WorkstationCache(64 * KB, metrics=client.metrics)
+    one = CachingBulletClient(client, cache=shared)
+    two = CachingBulletClient(client, cache=shared)
+    payload = b"pinned bytes"
+    cap = run_process(env, one.create(payload, 1))
+    run_process(env, two.read(cap))
+    shared.pin(cap)                    # sibling mid-copy
+    run_process(env, one.delete(cap))  # must not raise
+    assert cap not in shared
+    assert shared.cached_bytes == len(payload)  # held for the copier
+
+    def attempt():
+        try:
+            yield from two.read(cap)
+        except NotFoundError:
+            return "gone"
+
+    assert run_process(env, attempt()) == "gone"
+    with pytest.raises(NotFoundError):
+        shared.pin(cap)  # dead entries do not take new pins
+    shared.unpin(cap)
+    assert shared.audit() == 0
+    assert not shared.invalidate(cap)
 
 
 def test_caching_client_rejects_cache_and_capacity_together(env, rpc_rig):
