@@ -25,6 +25,8 @@ from repro import (
     VirtualDisk,
     run_process,
 )
+from repro.capability import RIGHT_READ
+from repro.client import CurrencyPolicy, NamedFileClient
 from repro.directory import DirectoryRows
 from repro.units import KB
 
@@ -76,20 +78,33 @@ def main():
     # --- Client cache + currency check -----------------------------------
     client = CachingBulletClient(stub, capacity_bytes=256 * KB)
     current_cap = run_process(env, dirs.lookup(docs, "paper.txt"))
-    text = run_process(env, client.read(current_cap))
-    print(f"\nclient cached: {text[:30]!r}...")
+    # Cache under a *read-only restriction* of the published capability:
+    # the currency check is evidence-based (object + secret lineage), so
+    # a restricted copy still compares current against the directory's
+    # owner capability — rights bits never fake a version change.
+    read_only = run_process(env, stub.restrict(current_cap, RIGHT_READ))
+    text = run_process(env, client.read(read_only))
+    print(f"\nclient cached (read-only cap): {text[:30]!r}...")
 
     is_current, latest = run_process(
-        env, client.lookup_validated(dirs, docs, "paper.txt", current_cap))
+        env, client.lookup_validated(dirs, docs, "paper.txt", read_only))
     print(f"cache still current? {is_current}")
 
     final = run_process(env, stub.create(b"Draft 4: camera-ready.", 1))
     run_process(env, dirs.replace(docs, "paper.txt", final))
     is_current, latest = run_process(
-        env, client.lookup_validated(dirs, docs, "paper.txt", current_cap))
+        env, client.lookup_validated(dirs, docs, "paper.txt", read_only))
     print(f"after another save, cache still current? {is_current} "
           f"-> refetch under {latest}")
     print(f"fresh contents: {run_process(env, client.read(latest))!r}")
+
+    # --- Open-by-name: the session layer runs the protocol for you ------
+    session = NamedFileClient(client, dirs, docs,
+                              policy=CurrencyPolicy.always(), name="editor")
+    print(f"\nopen-by-name: {run_process(env, session.read('paper.txt'))!r}")
+    run_process(env, session.publish("paper.txt", b"Draft 5: in press."))
+    print(f"after publish: {run_process(env, session.read('paper.txt'))!r}")
+    print(f"coherence counters: {session.stats.snapshot()}")
 
     # --- Reclaim old directory versions at leisure -----------------------
     deleted = run_process(env, dirs.prune_history(docs, keep=2))

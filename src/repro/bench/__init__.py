@@ -1,6 +1,11 @@
 """Benchmark harness (S13/S14): workloads, the §4 testbed rig, paper-
 style tables, and the per-figure measurement functions."""
 
+from .coherence import (
+    coherence_policy_tradeoff,
+    coherence_vs_workstations,
+    make_policy,
+)
 from .harness import (
     PAPER_SIZES,
     Rig,
@@ -25,7 +30,10 @@ __all__ = [
     "throughput_vs_clients",
     "throughput_vs_workers",
     "client_cache_scaling",
+    "coherence_policy_tradeoff",
+    "coherence_vs_workstations",
     "cold_read_disciplines",
+    "make_policy",
     "timed",
     "MeasurementTable",
     "ascii_chart",

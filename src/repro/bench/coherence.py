@@ -1,0 +1,243 @@
+"""PR 10: coherence traffic vs workstation count (the §5 trade-off).
+
+§5 keeps the file server out of the coherence protocol entirely: a
+workstation checks a cached copy's currency against the *directory*
+("simply by checking whether the capability is still stored under the
+given name"), so as workstations multiply the file server's READ load
+stays within one workstation's envelope — cold misses plus
+re-fetches of replaced versions — while the directory service absorbs
+one LOOKUP per currency check. This bench measures both sides of that
+bargain: N workstations (each a :class:`~repro.client.WorkstationCache`
++ :class:`~repro.client.NamedFileClient`) read a directory-published
+hot set under Zipf popularity while a seeded writer REPLACEs bindings;
+the sweep shows directory RPCs growing with N and with check frequency
+(the :class:`~repro.client.CurrencyPolicy`), server READs flat per
+workstation, and — the correctness half — zero stale reads served
+under the check-always policy.
+
+A read is counted **stale-served** when the bytes decode to a version
+older than the name's ground-truth version *before the open began*
+(reads concurrent with a REPLACE are legitimately either version; reads
+of data older than the binding at open time are the §5 violation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..capability import RIGHT_READ
+from ..client import (CachingBulletClient, CurrencyPolicy, NamedFileClient,
+                      WorkstationCache)
+from ..errors import BadRequestError, ConsistencyError
+from ..profiles import DEFAULT_TESTBED, Testbed
+from ..sim import SeededStream, run_process
+from ..units import KB
+from .harness import make_rig
+
+__all__ = ["coherence_vs_workstations", "coherence_policy_tradeoff",
+           "make_policy"]
+
+
+def make_policy(spec: str, check_interval: float) -> CurrencyPolicy:
+    """A :class:`CurrencyPolicy` from its bench spelling: ``always``,
+    ``after`` (using ``check_interval``), or ``session``."""
+    if spec == "always":
+        return CurrencyPolicy.always()
+    if spec == "after":
+        return CurrencyPolicy.after(check_interval)
+    if spec == "session":
+        return CurrencyPolicy.session()
+    raise BadRequestError(f"unknown policy spec {spec!r}")
+
+
+def _encode(name: str, version: int, size: int) -> bytes:
+    """The bench's file contents: a self-describing version header
+    padded to ``size`` bytes, so a reader can tell which version it
+    was served without any side channel."""
+    header = f"{name}:v{version}:".encode()
+    if len(header) > size:
+        raise BadRequestError(
+            f"file size {size} too small for the version header"
+        )
+    return header + b"." * (size - len(header))
+
+
+def _version_of(data: bytes) -> int:
+    return int(data.split(b":v", 1)[1].split(b":", 1)[0])
+
+
+def _coherence_cell(n_workstations: int, policy: CurrencyPolicy,
+                    hot_files: int, file_size: int,
+                    ops_per_workstation: int, think: float,
+                    n_replaces: int, write_interval: float,
+                    cache_bytes: int, seed: int,
+                    testbed: Testbed) -> dict:
+    """One measured cell: N workstations under one currency policy."""
+    rig = make_rig(seed=seed, testbed=testbed, with_nfs=False,
+                   background_load=False, with_directory=True)
+    env, bullet = rig.env, rig.bullet
+    root = run_process(env, rig.directory_client.create_directory())
+
+    names = [f"hot-f{i:03d}" for i in range(hot_files)]
+    # Even-numbered files are published under owner capabilities, odd
+    # ones under read-only restrictions — so the currency check runs
+    # both evidence paths (owner-vs-restricted lineage and known-pair).
+    masks: list = [None if i % 2 == 0 else RIGHT_READ
+                   for i in range(hot_files)]
+
+    writer_session = NamedFileClient(
+        CachingBulletClient(
+            rig.bullet_client,
+            cache=WorkstationCache(4 * file_size, name="writer",
+                                   metrics=rig.metrics, cpu=testbed.cpu)),
+        rig.directory_client, root, policy=CurrencyPolicy.session(),
+        name="writer")
+    truth: dict[str, int] = {}
+    owners: dict = {}
+    for i, name in enumerate(names):
+        owner, _old = run_process(
+            env, writer_session.publish(name, _encode(name, 0, file_size),
+                                        1, mask=masks[i]))
+        owners[name] = owner
+        truth[name] = 0
+
+    sessions = []
+    for w in range(n_workstations):
+        cache = WorkstationCache(cache_bytes, name=f"ws{w}",
+                                 metrics=rig.metrics, cpu=testbed.cpu)
+        caching = CachingBulletClient(rig.bullet_client, cache=cache)
+        sessions.append(NamedFileClient(caching, rig.directory_client,
+                                        root, policy=policy,
+                                        name=f"ws{w}"))
+
+    stale_served = [0] * n_workstations
+
+    def reader(index: int):
+        named = sessions[index]
+        stream = SeededStream(seed, f"coherence:ws{index}")
+        for _ in range(ops_per_workstation):
+            name = names[stream.zipf_index(hot_files)]
+            expected = truth[name]
+            data = yield from named.read(name)
+            if _version_of(data) < expected:
+                stale_served[index] += 1
+            yield env.timeout(think)
+
+    def writer():
+        stream = SeededStream(seed, "coherence:writer")
+        for _ in range(n_replaces):
+            yield env.timeout(write_interval)
+            i = stream.zipf_index(hot_files)
+            name = names[i]
+            version = truth[name] + 1
+            owner, _old = yield from writer_session.publish(
+                name, _encode(name, version, file_size), 1, mask=masks[i])
+            truth[name] = version
+            # Dispose of the superseded version: readers mid-fetch
+            # recover through their own currency re-check.
+            doomed = owners[name]
+            owners[name] = owner
+            yield from rig.bullet_client.delete(doomed)
+
+    reads_before = bullet.stats.reads
+    start = env.now
+    waits = [env.process(reader(index)) for index in range(n_workstations)]
+    waits.append(env.process(writer()))
+    for wait in waits:
+        env.run(until=wait)
+    elapsed = env.now - start
+
+    total_ops = n_workstations * ops_per_workstation
+    dir_rpcs = sum(s.stats.dir_rpcs for s in sessions)
+    checks = sum(s.stats.checks for s in sessions)
+    stale = sum(s.stats.stale for s in sessions)
+    revalidations = sum(s.stats.revalidations for s in sessions)
+    cache_hits = sum(s.client.cache.stats.hits for s in sessions)
+    cache_misses = sum(s.client.cache.stats.misses for s in sessions)
+    cache_lookups = sum(s.client.cache.stats.lookups for s in sessions)
+    if cache_hits + cache_misses != cache_lookups:
+        raise ConsistencyError(
+            f"client cache conservation violated: {cache_hits} + "
+            f"{cache_misses} != {cache_lookups}"
+        )
+    server_reads = bullet.stats.reads - reads_before
+    return {
+        "workstations": n_workstations,
+        "policy": repr(policy),
+        "total_ops": total_ops,
+        "elapsed_s": elapsed,
+        "served_ops_per_sec": total_ops / elapsed,
+        "server_reads": server_reads,
+        "server_reads_per_workstation": server_reads / n_workstations,
+        "dir_rpcs": dir_rpcs,
+        "dir_rpcs_per_op": dir_rpcs / total_ops,
+        "dir_rpcs_writer": writer_session.stats.dir_rpcs,
+        "coherence_checks": checks,
+        "stale_bindings": stale,
+        "revalidations": revalidations,
+        "stale_reads_served": sum(stale_served),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+    }
+
+
+def coherence_vs_workstations(workstation_counts=(1, 2, 4, 8, 16),
+                              policy: str = "always",
+                              check_interval: float = 0.05,
+                              hot_files: int = 12,
+                              file_size: int = 8 * KB,
+                              ops_per_workstation: int = 120,
+                              think: float = 2e-3,
+                              n_replaces: int = 10,
+                              write_interval: float = 0.03,
+                              cache_bytes: Optional[int] = None,
+                              seed: int = 1989,
+                              testbed: Testbed = DEFAULT_TESTBED) -> dict:
+    """Directory coherence traffic as workstations multiply.
+
+    Each workstation's cache is sized for full hot-set residency (the
+    cache shields the file server; what remains is the coherence
+    traffic), every workstation performs the same fixed number of Zipf
+    open+read ops, and the writer's REPLACE schedule is identical
+    across cells — so cells compare the cost of the *same* job as N
+    grows. Returns per-N result rows (see ``_coherence_cell``).
+    """
+    if cache_bytes is None:
+        # Full residency plus headroom for freshly fetched versions.
+        cache_bytes = 2 * hot_files * file_size
+    pol = make_policy(policy, check_interval)
+    results: dict = {}
+    for n_workstations in workstation_counts:
+        results[n_workstations] = _coherence_cell(
+            n_workstations, pol, hot_files, file_size,
+            ops_per_workstation, think, n_replaces, write_interval,
+            cache_bytes, seed, testbed)
+    return results
+
+
+def coherence_policy_tradeoff(n_workstations: int = 8,
+                              policies=("always", "after", "session"),
+                              check_interval: float = 0.05,
+                              hot_files: int = 12,
+                              file_size: int = 8 * KB,
+                              ops_per_workstation: int = 120,
+                              think: float = 2e-3,
+                              n_replaces: int = 10,
+                              write_interval: float = 0.03,
+                              cache_bytes: Optional[int] = None,
+                              seed: int = 1989,
+                              testbed: Testbed = DEFAULT_TESTBED) -> dict:
+    """The traffic/staleness trade-off at a fixed workstation count:
+    the same workload under each currency policy. Check-always pays
+    one directory RPC per open and serves nothing stale; session pays
+    almost nothing and serves whatever the binding aged into;
+    check-after-T sits between."""
+    if cache_bytes is None:
+        cache_bytes = 2 * hot_files * file_size
+    results: dict = {}
+    for spec in policies:
+        results[spec] = _coherence_cell(
+            n_workstations, make_policy(spec, check_interval), hot_files,
+            file_size, ops_per_workstation, think, n_replaces,
+            write_interval, cache_bytes, seed, testbed)
+    return results

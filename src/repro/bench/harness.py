@@ -19,8 +19,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..capability import RIGHT_READ
-from ..client import BulletClient, CachingBulletClient, WorkstationCache
+from ..client import (BulletClient, CachingBulletClient, DirectoryClient,
+                      LocalBulletStub, WorkstationCache)
 from ..core import BulletServer
+from ..directory import DirectoryServer
 from ..disk import MirroredDiskSet, VirtualDisk
 from ..errors import BadRequestError, ConsistencyError
 from ..net import Ethernet, RpcTransport
@@ -60,19 +62,26 @@ class Rig:
     bullet_client: Optional[BulletClient] = None
     nfs: Optional[NfsServer] = None
     nfs_client: Optional[NfsClient] = None
+    directory: Optional[DirectoryServer] = None
+    directory_client: Optional[DirectoryClient] = None
 
 
 def make_rig(seed: int = 1989, testbed: Testbed = DEFAULT_TESTBED,
              background_load: bool = True, with_bullet: bool = True,
              with_nfs: bool = True, nfs_churn: bool = True,
              bullet_disks: int = 2, cache_policy: str = "lru",
-             workers: int = 1, disk_discipline: str = "fcfs") -> Rig:
+             workers: int = 1, disk_discipline: str = "fcfs",
+             with_directory: bool = False) -> Rig:
     """Build the §4 testbed (or a subset of it).
 
     ``workers`` sizes the Bullet server's service pool (1 = the paper's
     single-threaded loop); ``disk_discipline`` picks the per-disk queue
     ("fcfs" or "elevator" — the latter only matters once concurrent
-    workers actually queue disk requests).
+    workers actually queue disk requests). ``with_directory`` adds a
+    directory server (its rows stored on the Bullet server through the
+    local plane, its own private slot disk) plus a
+    :class:`~repro.client.DirectoryClient` over the shared transport —
+    the naming/coherence half of the testbed.
 
     Every component shares one :class:`~repro.obs.MetricsRegistry`
     (``rig.metrics``), so a single export covers the whole testbed.
@@ -100,6 +109,19 @@ def make_rig(seed: int = 1989, testbed: Testbed = DEFAULT_TESTBED,
         env.run(until=env.process(rig.bullet.boot()))
         rig.bullet_client = BulletClient(env, rpc, rig.bullet.port,
                                          metrics=metrics)
+    if with_directory:
+        if rig.bullet is None:
+            raise BadRequestError("a directory rig needs the Bullet server")
+        dir_disk = VirtualDisk(env, testbed.disk, name="dir-disk",
+                               metrics=metrics)
+        rig.directory = DirectoryServer(env, dir_disk,
+                                        LocalBulletStub(rig.bullet),
+                                        testbed, transport=rpc,
+                                        master_seed=seed)
+        rig.directory.format()
+        env.run(until=env.process(rig.directory.boot()))
+        rig.directory_client = DirectoryClient(
+            env, rpc, default_port=rig.directory.port)
     if with_nfs:
         nfs_disk = VirtualDisk(env, testbed.disk, name="nfs-disk",
                                metrics=metrics)

@@ -312,11 +312,33 @@ class CachingBulletClient:
 
     def lookup_validated(self, directory, dir_cap: Capability, name: str,
                          based_on: Capability):
-        """Process: the §5 currency check. Returns (is_current, cap):
-        looks ``name`` up in the directory and compares with the
-        capability the cached copy is based on."""
-        current = yield from directory.lookup(dir_cap, name)
-        return current == based_on, current
+        """Process: the §5 currency check. Returns ``(is_current, cap)``:
+        looks ``name`` up in the directory and decides whether the
+        cached copy based on ``based_on`` is still what the name means.
+
+        Two classes of false staleness are avoided here. First, the
+        comparison is **evidence-based**, not raw equality: a copy
+        cached under a restricted capability compares current against
+        the directory's owner capability via
+        :meth:`~repro.client.workstation.WorkstationCache
+        .currency_evidence` (object identity plus secret lineage —
+        never raw rights bits), while a delete+recreate that reuses the
+        object number correctly compares stale (new secret). Second,
+        the check runs against the **whole capability set** bound to
+        the name — one member per replica — so a copy based on a
+        non-primary member is current, not a forced re-fetch.
+
+        When current, returns the matching member; when stale, the
+        set's primary (the capability to re-fetch under).
+        """
+        caps = yield from directory.lookup_set(dir_cap, name)
+        for cap in caps:
+            proven, cost = self.cache.currency_evidence(based_on, cap)
+            if cost > 0.0:
+                yield self.env.timeout(cost)
+            if proven:
+                return True, cap
+        return False, caps[0]
 
     @property
     def cached_bytes(self) -> int:

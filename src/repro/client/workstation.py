@@ -280,6 +280,77 @@ class WorkstationCache:
         self._account(len(data))
         return True
 
+    def currency_evidence(self, based_on: Capability,
+                          current: Capability) -> tuple[bool, float]:
+        """The §5 currency comparison: does ``current`` (just fetched
+        from the directory) provably name the same file *incarnation*
+        as ``based_on`` (the capability the cached copy is based on)?
+
+        Raw capability equality is wrong in both directions. A copy
+        cached under a *restricted* capability must still compare
+        current against the directory's owner capability — the object
+        is identical, only the rights differ — while a delete+recreate
+        reusing the object number must compare **stale** even though
+        ``(port, object)`` match: the new incarnation has a new secret.
+        So identity is object identity plus **secret lineage**: both
+        capabilities must verify against one and the same secret.
+        Evidence is tried in order of cost:
+
+        * exact ``(rights, check)`` equality — free;
+        * an owner-shaped side carries its incarnation's secret in the
+          check field (§2.1), so the other side verifies against it
+          directly (one one-way function); two unequal owner-shaped
+          capabilities carry *different* secrets — stale;
+        * both sides restricted: only the resident entry's own
+          evidence (known secret / verified pairs) can link them.
+
+        Unprovable pairs report stale — the safe direction: a spurious
+        re-fetch, never a stale read. Returns ``(proven, cost)`` where
+        ``cost`` is the simulated seconds of check-field work the
+        caller must charge; derivations are memoized in the entry's
+        verified set (when the object is resident and trusted), so
+        re-checking a hot binding is O(1) and free.
+        """
+        if (based_on.port, based_on.object) != (current.port, current.object):
+            return False, 0.0
+        if (based_on.rights, based_on.check) == (current.rights, current.check):
+            return True, 0.0
+        entry = self._entries.get((based_on.port, based_on.object))
+        if entry is not None and entry.dead:
+            entry = None
+        cost = 0.0
+        for owner, other in ((based_on, current), (current, based_on)):
+            if owner.rights != ALL_RIGHTS:
+                continue
+            if other.rights == ALL_RIGHTS:
+                # Two owner capabilities with different check fields are
+                # two different secrets: distinct incarnations.
+                return False, cost
+            cost += self.derive_cost
+            self._c_local_verifies.inc(1)
+            proven = verify(other, owner.check)
+            if (proven and entry is not None
+                    and (based_on.rights, based_on.check) in entry.verified):
+                # The check proved the owner capability of an entry
+                # that already trusts based_on: seed the secret so
+                # every future verification for this object is O(1).
+                self._note_verified(entry, owner)
+                self._note_verified(entry, other)
+            return proven, cost
+        if entry is None:
+            return False, cost
+        for cap in (based_on, current):
+            if (cap.rights, cap.check) in entry.verified:
+                continue
+            if entry.secret is None:
+                return False, cost
+            cost += self.derive_cost
+            self._c_local_verifies.inc(1)
+            if not verify(cap, entry.secret):
+                return False, cost
+            entry.verified.add((cap.rights, cap.check))
+        return True, cost
+
     def owner_verified(self, cap: Capability) -> bool:
         """Whether ``cap`` is an owner capability the cache can vouch
         for: its object is resident and the capability is proven

@@ -81,6 +81,16 @@ def main(argv=None) -> int:
                      help="bench artifact path")
     pr9.add_argument("--top", default=None,
                      help="optional second copy (e.g. BENCH_PR9.json)")
+    pr10 = sub.add_parser("bench-pr10", help="run the §5 coherence "
+                                             "traffic experiment")
+    pr10.add_argument("--seed", type=int, default=1989)
+    pr10.add_argument("--ops-per-workstation", type=int, default=120,
+                      help="open+read ops each workstation performs")
+    pr10.add_argument("--results",
+                      default="benchmarks/results/bench_pr10.json",
+                      help="bench artifact path")
+    pr10.add_argument("--top", default=None,
+                      help="optional second copy (e.g. BENCH_PR10.json)")
     speedup = sub.add_parser(
         "speedup", help="measure wall-clock speedup of the kernel fast "
                         "paths against a pristine baseline checkout")
@@ -118,6 +128,14 @@ def main(argv=None) -> int:
         from .bench import write_bench_pr9
         write_bench_pr9(args.results, args.top, seed=args.seed,
                         ops_per_client=args.ops_per_client)
+        print(f"wrote {args.results}"
+              + (f" and {args.top}" if args.top else ""))
+        return 0
+
+    if args.command == "bench-pr10":
+        from .bench import write_bench_pr10
+        write_bench_pr10(args.results, args.top, seed=args.seed,
+                         ops_per_workstation=args.ops_per_workstation)
         print(f"wrote {args.results}"
               + (f" and {args.top}" if args.top else ""))
         return 0

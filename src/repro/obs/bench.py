@@ -21,13 +21,15 @@ import json
 from typing import Optional
 
 from ..bench import (PAPER_SIZES, bullet_figure2, client_cache_scaling,
+                     coherence_policy_tradeoff, coherence_vs_workstations,
                      cold_read_disciplines, make_rig, nfs_figure3,
                      throughput_vs_workers)
 from ..errors import ConsistencyError
 from ..units import KB, to_msec
 
-__all__ = ["run_bench", "run_bench_pr5", "run_bench_pr9", "write_bench",
-           "write_bench_pr5", "write_bench_pr9", "canonical_json"]
+__all__ = ["run_bench", "run_bench_pr5", "run_bench_pr9", "run_bench_pr10",
+           "write_bench", "write_bench_pr5", "write_bench_pr9",
+           "write_bench_pr10", "canonical_json"]
 
 #: Sizes used for the quick cache-policy ablation (kept small: the
 #: ablation is a smoke check, not a figure).
@@ -228,6 +230,122 @@ def write_bench_pr9(results_path: str, top_path: Optional[str] = None,
                     seed: int = 1989, ops_per_client: int = 150) -> dict:
     """Run the PR 9 bench and write the canonical JSON."""
     payload = run_bench_pr9(seed=seed, ops_per_client=ops_per_client)
+    text = canonical_json(payload)
+    for path in filter(None, (results_path, top_path)):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return payload
+
+
+#: Workstation counts swept by the PR 10 coherence experiment.
+PR10_WORKSTATIONS = (1, 2, 4, 8, 16)
+
+#: The hot-set and writer shape shared by both PR 10 measurements. The
+#: per-workstation server-READ envelope follows from it: at most one
+#: cold fetch per hot file plus one re-fetch per REPLACE.
+PR10_HOT_FILES = 12
+PR10_REPLACES = 10
+
+
+def run_bench_pr10(seed: int = 1989, ops_per_workstation: int = 120) -> dict:
+    """The PR 10 experiment: §5 coherence traffic vs workstation count.
+
+    Two measurements. The **sweep** runs N = 1..16 workstations under
+    the check-always currency policy: directory RPCs must grow with N
+    while per-workstation server READs stay within the single-
+    workstation envelope (``hot_files + n_replaces`` — cold fetches
+    plus re-fetches of replaced versions) and no stale read is ever
+    served. The **policy comparison** holds N = 8 and swaps the
+    currency policy: directory RPCs per op must fall strictly from
+    check-always through check-after-T to session, and the session
+    policy — which never re-checks — must actually serve stale reads
+    (otherwise the workload isn't stressing coherence and the zero
+    above would be vacuous). All checks raise
+    :class:`ConsistencyError` so CI fails loudly.
+    """
+    counts = list(PR10_WORKSTATIONS)
+    sweep = coherence_vs_workstations(
+        workstation_counts=counts, seed=seed,
+        hot_files=PR10_HOT_FILES, n_replaces=PR10_REPLACES,
+        ops_per_workstation=ops_per_workstation)
+    envelope = PR10_HOT_FILES + PR10_REPLACES
+    for count in counts:
+        row = sweep[count]
+        if row["stale_reads_served"] != 0:
+            raise ConsistencyError(
+                f"check-always served {row['stale_reads_served']} stale "
+                f"reads at {count} workstations; §5 says zero"
+            )
+        if row["server_reads_per_workstation"] > envelope:
+            raise ConsistencyError(
+                f"server READs per workstation "
+                f"({row['server_reads_per_workstation']}) exceeded the "
+                f"single-workstation envelope ({envelope}) at "
+                f"{count} workstations: the cache is not shielding "
+                f"the file server"
+            )
+    rpc_series = [sweep[count]["dir_rpcs"] for count in counts]
+    if not all(a < b for a, b in zip(rpc_series, rpc_series[1:])):
+        raise ConsistencyError(
+            f"directory RPCs not strictly rising with workstations: "
+            f"{rpc_series}"
+        )
+    policies = ("always", "after", "session")
+    tradeoff = coherence_policy_tradeoff(
+        policies=policies, seed=seed,
+        hot_files=PR10_HOT_FILES, n_replaces=PR10_REPLACES,
+        ops_per_workstation=ops_per_workstation)
+    per_op = [tradeoff[spec]["dir_rpcs_per_op"] for spec in policies]
+    if not all(a > b for a, b in zip(per_op, per_op[1:])):
+        raise ConsistencyError(
+            f"directory RPCs per op not strictly ordered "
+            f"always > after > session: {per_op}"
+        )
+    if tradeoff["session"]["stale_reads_served"] == 0:
+        raise ConsistencyError(
+            "session policy served no stale reads: the workload is not "
+            "exercising coherence, so the check-always zero is vacuous"
+        )
+    return {
+        "meta": {
+            "paper": "The Design of a High-Performance File Server "
+                     "(van Renesse, Tanenbaum, Wilschut; ICDCS 1989)",
+            "experiment": "name-based coherence (§5): directory RPCs "
+                          "and server READ load vs workstation count "
+                          "and currency policy, under a shared Zipf "
+                          "hot set with a writer REPLACE-ing bindings",
+            "seed": seed,
+            "ops_per_workstation": ops_per_workstation,
+            "workstation_counts": counts,
+            "hot_files": PR10_HOT_FILES,
+            "n_replaces": PR10_REPLACES,
+            "server_read_envelope_per_workstation": envelope,
+        },
+        "coherence_vs_workstations": {
+            str(count): sweep[count] for count in counts
+        },
+        "policy_tradeoff": {spec: tradeoff[spec] for spec in policies},
+        "invariants": {
+            "stale_reads_check_always": "zero at every workstation "
+                                        "count",
+            "server_reads_per_workstation": "within the single-"
+                                            "workstation envelope "
+                                            "(hot_files + n_replaces)",
+            "dir_rpcs": "strictly rising with workstation count",
+            "dir_rpcs_per_op_by_policy": "strictly ordered "
+                                         "always > after > session",
+            "session_staleness": "session policy serves stale reads "
+                                 "(the workload stresses coherence)",
+        },
+    }
+
+
+def write_bench_pr10(results_path: str, top_path: Optional[str] = None,
+                     seed: int = 1989,
+                     ops_per_workstation: int = 120) -> dict:
+    """Run the PR 10 bench and write the canonical JSON."""
+    payload = run_bench_pr10(seed=seed,
+                             ops_per_workstation=ops_per_workstation)
     text = canonical_json(payload)
     for path in filter(None, (results_path, top_path)):
         with open(path, "w") as handle:
